@@ -1,0 +1,34 @@
+# Convenience targets for the CATS reproduction. Everything is plain
+# `go` under the hood; no target is required for library use.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench experiments cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure at the default scales.
+experiments:
+	$(GO) run ./cmd/catsbench -exp all
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+clean:
+	rm -f coverage.out test_output.txt bench_output.txt

@@ -1,0 +1,473 @@
+package cats_test
+
+// Benchmark harness: one testing.B benchmark per paper table/figure
+// (the same harnesses `catsbench` runs, at a reduced scale so the
+// whole suite completes in minutes) plus micro-benchmarks for the hot
+// paths: segmentation, feature extraction, sentiment scoring, boosted
+// tree training/prediction and the word2vec SGD loop.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-vs-measured numbers for each experiment are recorded in
+// EXPERIMENTS.md.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecom"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/lexicon"
+	"repro/internal/ml"
+	"repro/internal/ml/gbt"
+	"repro/internal/sentiment"
+	"repro/internal/synth"
+	"repro/internal/textgen"
+	"repro/internal/tokenize"
+	"repro/internal/word2vec"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.Config{
+			D0Scale:        0.03,
+			D1Scale:        0.001,
+			EPlatScale:     0.001,
+			SampleItems:    100,
+			CorpusComments: 8000,
+			PolarComments:  2000,
+			Seed:           99,
+		})
+	})
+	return benchLab
+}
+
+// --- One benchmark per table/figure. ---
+
+func BenchmarkTable1LexiconExpansion(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ClassifierComparison(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4D0Stats(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		_ = l.Table4()
+	}
+}
+
+func BenchmarkTable5D1Stats(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		_ = l.Table5()
+	}
+}
+
+func BenchmarkTable6CATSOnD1(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1SentimentDistribution(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2PunctuationDistribution(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3EntropyDistribution(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4LengthDistribution(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5UniqueWordRatioDistribution(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7FeatureImportance(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8WordClouds(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10CrossPlatformSentiment(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11UserExpValue(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		_ = l.Fig11()
+	}
+}
+
+func BenchmarkFig12ClientDistribution(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		_ = l.Fig12()
+	}
+}
+
+func BenchmarkFig13FeatureDistributions(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEPlatformPipeline(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.EPlatform(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRiskyUserAnalysis(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		_ = l.RiskyUsers()
+	}
+}
+
+func BenchmarkDeploymentPerCategory(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Deployment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThresholdSweep(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ThresholdSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (design choices DESIGN.md calls out). ---
+
+func BenchmarkAblationRuleFilter(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.FilterAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFeatureGroups(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.FeatureGroupAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLexiconSize(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.LexiconSizeAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGBTHyperparams(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.GBTAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks for the pipeline's hot paths. ---
+
+func benchComments(n int) []string {
+	gen := textgen.NewGenerator(textgen.NewBank(), rand.New(rand.NewSource(5)))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = gen.Comment(textgen.FraudStyle())
+	}
+	return out
+}
+
+func BenchmarkSegmenter(b *testing.B) {
+	seg := tokenize.NewSegmenter(textgen.NewBank().Vocabulary())
+	comments := benchComments(256)
+	var runes int
+	for _, c := range comments {
+		runes += tokenize.RuneLen(c)
+	}
+	b.SetBytes(int64(runes / len(comments)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = seg.Words(comments[i%len(comments)])
+	}
+}
+
+func benchExtractor(b *testing.B) (*features.Extractor, []ecom.Item) {
+	b.Helper()
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(1000, 6)
+	analyzer, err := core.OracleAnalyzer(bank, texts, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := synth.Generate(synth.Config{
+		Name: "bench", Seed: 7, FraudEvidence: 128, Normal: 128, Shops: 8,
+	})
+	return analyzer.Extractor(), u.Dataset.Items
+}
+
+func BenchmarkFeatureVector(b *testing.B) {
+	ex, items := benchExtractor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ex.Vector(&items[i%len(items)])
+	}
+}
+
+func BenchmarkFeatureExtractParallel(b *testing.B) {
+	ex, items := benchExtractor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ex.ExtractDataset(items, 0)
+	}
+}
+
+func BenchmarkSentimentScore(b *testing.B) {
+	bank := textgen.NewBank()
+	seg := tokenize.NewSegmenter(bank.Vocabulary())
+	texts, labels := synth.PolarCorpus(1000, 8)
+	docs := make([][]string, len(texts))
+	for i, t := range texts {
+		docs[i] = seg.Words(t)
+	}
+	m, err := sentiment.Train(docs, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := seg.Words(benchComments(1)[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Score(words)
+	}
+}
+
+func benchMLDataset(n int) *ml.Dataset {
+	rng := rand.New(rand.NewSource(9))
+	ds := &ml.Dataset{FeatureNames: features.Names}
+	for i := 0; i < n; i++ {
+		row := make([]float64, features.NumFeatures)
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(i%2)
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, i%2)
+	}
+	return ds
+}
+
+func BenchmarkGBTTrain(b *testing.B) {
+	ds := benchMLDataset(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := gbt.New(gbt.Config{Rounds: 50, MaxDepth: 4, Seed: 1})
+		if err := clf.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBTPredict(b *testing.B) {
+	ds := benchMLDataset(2000)
+	clf := gbt.New(gbt.Config{Rounds: 100, MaxDepth: 4, Seed: 1})
+	if err := clf.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = clf.PredictProba(ds.X[i%len(ds.X)])
+	}
+}
+
+func BenchmarkWord2VecTrain(b *testing.B) {
+	bank := textgen.NewBank()
+	seg := tokenize.NewSegmenter(bank.Vocabulary())
+	corpus := synth.TrainingCorpus(2000, 10)
+	sentences := make([][]string, len(corpus))
+	for i, c := range corpus {
+		sentences[i] = seg.Words(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := word2vec.Train(sentences, word2vec.Config{Dim: 16, Epochs: 1, MinCount: 3, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLexiconExpand(b *testing.B) {
+	bank := textgen.NewBank()
+	seg := tokenize.NewSegmenter(bank.Vocabulary())
+	corpus := synth.TrainingCorpus(4000, 11)
+	sentences := make([][]string, len(corpus))
+	for i, c := range corpus {
+		sentences[i] = seg.Words(c)
+	}
+	m, err := word2vec.Train(sentences, word2vec.Config{Dim: 16, Epochs: 2, MinCount: 3, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lexicon.Expand(m, core.DefaultPositiveSeeds, lexicon.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticGeneration(b *testing.B) {
+	cfg := synth.Config{Name: "bench", Seed: 12, FraudEvidence: 100, Normal: 400, Shops: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = synth.Generate(cfg)
+	}
+}
+
+func BenchmarkRobustnessSweep(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RobustnessSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBTTrainParallel(b *testing.B) {
+	ds := benchMLDataset(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := gbt.New(gbt.Config{Rounds: 50, MaxDepth: 4, Seed: 1, Workers: 8})
+		if err := clf.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendixWordTables(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Appendix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimeAspect(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		_ = l.TimeAspect()
+	}
+}
+
+func BenchmarkLearningCurve(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.LearningCurve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundsCurve(b *testing.B) {
+	l := lab()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RoundsCurve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

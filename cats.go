@@ -1,0 +1,237 @@
+// Package cats is the public API of this repository's reproduction of
+// "CATS: Cross-Platform E-commerce Fraud Detection" (Weng et al., ICDE
+// 2019) — a third-party, platform-independent detector of illegally
+// promoted ("fraud") e-commerce items that works purely from
+// public-domain data: the items' comments plus basic item metadata.
+//
+// The pipeline mirrors the paper's four components:
+//
+//   - a data collector (internal/collector over internal/crawler)
+//     that scrapes shop → item → comment pages;
+//   - a semantic analyzer that trains a word2vec model on a large
+//     comment corpus, expands seed words into positive/negative
+//     lexicons, and scores comment sentiment with a Naive Bayes model;
+//   - a feature extractor computing 11 word-level, semantic and
+//     structural features per item (Table II);
+//   - a two-stage detector: a rule filter, then a gradient-boosted-tree
+//     classifier (XGBoost-style; five alternative classifiers are
+//     selectable, matching the paper's Table III comparison).
+//
+// The typical flow is:
+//
+//	sys, err := cats.Train(ctx, cats.TrainingInput{
+//	    Corpus:      corpus,      // unlabeled comments, for word2vec
+//	    PolarTexts:  polarTexts,  // polarity-labeled comments, for sentiment
+//	    PolarLabels: polarLabels,
+//	    Vocabulary:  vocab,       // segmenter dictionary
+//	    Labeled:     d0,          // labeled items, for the classifier
+//	}, cats.DefaultConfig())
+//	detections, err := sys.Detect(items)
+//
+// Because the paper's datasets are proprietary, the repro/internal/synth
+// package generates calibrated synthetic stand-ins; see DESIGN.md.
+package cats
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/ecom"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/ml/gbt"
+)
+
+// Re-exported domain types. These aliases make the public API
+// self-contained for code living in this module.
+type (
+	// Item is one e-commerce item with its collected comments.
+	Item = ecom.Item
+	// Comment is one public comment record.
+	Comment = ecom.Comment
+	// Dataset is a labeled item collection.
+	Dataset = ecom.Dataset
+	// Label is ground-truth item status.
+	Label = ecom.Label
+	// Detection is one scored item.
+	Detection = core.Detection
+	// ClassifierKind selects the detector's classifier.
+	ClassifierKind = core.ClassifierKind
+)
+
+// Label values.
+const (
+	Normal        = ecom.Normal
+	FraudEvidence = ecom.FraudEvidence
+	FraudManual   = ecom.FraudManual
+)
+
+// Classifier kinds (Table III candidates).
+const (
+	XGBoost      = core.KindGBT
+	SVM          = core.KindSVM
+	AdaBoost     = core.KindAdaBoost
+	NeuralNet    = core.KindMLP
+	DecisionTree = core.KindDecisionTree
+	NaiveBayes   = core.KindNaiveBayes
+)
+
+// FeatureNames lists the 11 feature names in vector order (Table II).
+var FeatureNames = features.Names
+
+// Config configures system training.
+type Config struct {
+	// Analyzer holds semantic-analyzer settings (word2vec, lexicon
+	// expansion, seeds).
+	Analyzer core.AnalyzerConfig
+	// Detector holds rule-filter and classifier settings.
+	Detector core.DetectorConfig
+	// Workers bounds feature-extraction parallelism; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the configuration used across the paper-shaped
+// experiments: 32-dim skip-gram embeddings, 200-word lexicons, and the
+// XGBoost-style detector.
+func DefaultConfig() Config {
+	return Config{
+		Detector: core.DetectorConfig{Classifier: core.KindGBT},
+	}
+}
+
+// TrainingInput carries everything Train needs.
+type TrainingInput struct {
+	// Corpus is the unlabeled comment corpus for word2vec training
+	// (the paper used ~70M Taobao comments).
+	Corpus []string
+	// PolarTexts and PolarLabels (1=positive, 0=negative) train the
+	// sentiment model.
+	PolarTexts  []string
+	PolarLabels []int
+	// Vocabulary is the word-segmenter dictionary.
+	Vocabulary []string
+	// Labeled is the ground-truth item dataset the classifier is
+	// pre-trained on (the paper's D0).
+	Labeled *Dataset
+}
+
+// System is a trained CATS instance, safe for concurrent detection.
+type System struct {
+	analyzer *core.Analyzer
+	detector *core.Detector
+	workers  int
+}
+
+// Train builds the full system: semantic analyzer, feature extractor
+// and detector. The context cancels long-running training politely
+// between phases.
+func Train(ctx context.Context, in TrainingInput, cfg Config) (*System, error) {
+	if in.Labeled == nil || len(in.Labeled.Items) == 0 {
+		return nil, fmt.Errorf("cats: no labeled training items")
+	}
+	analyzer, err := core.TrainAnalyzer(in.Corpus, in.PolarTexts, in.PolarLabels, in.Vocabulary, cfg.Analyzer)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return NewFromAnalyzer(analyzer, in.Labeled, cfg)
+}
+
+// NewFromAnalyzer builds and trains a System from an existing analyzer
+// (used when the semantic models are trained or loaded separately).
+func NewFromAnalyzer(analyzer *core.Analyzer, labeled *Dataset, cfg Config) (*System, error) {
+	det, err := core.NewDetector(analyzer, cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	if err := det.Train(labeled, cfg.Workers); err != nil {
+		return nil, err
+	}
+	return &System{analyzer: analyzer, detector: det, workers: cfg.Workers}, nil
+}
+
+// Analyzer exposes the trained semantic analyzer.
+func (s *System) Analyzer() *core.Analyzer { return s.analyzer }
+
+// Detector exposes the trained detector.
+func (s *System) Detector() *core.Detector { return s.detector }
+
+// Detect scores items: stage-one rule filtering, then classifier
+// probabilities over the 11 features.
+func (s *System) Detect(items []Item) ([]Detection, error) {
+	return s.detector.Detect(items, s.workers)
+}
+
+// DetectItem scores a single item.
+func (s *System) DetectItem(item *Item) (Detection, error) {
+	return s.detector.DetectItem(item)
+}
+
+// Features computes the 11-feature vector of an item (Table II order).
+func (s *System) Features(item *Item) []float64 {
+	return s.detector.Extractor().Vector(item)
+}
+
+// FeatureImportance returns the detector's split-count feature
+// importance when the classifier is the boosted-tree model (Fig 7);
+// it returns an error for other classifier kinds.
+func (s *System) FeatureImportance() ([]gbt.Importance, error) {
+	g, ok := s.detector.Classifier().(*gbt.Classifier)
+	if !ok {
+		return nil, fmt.Errorf("cats: classifier %T has no split-count importance", s.detector.Classifier())
+	}
+	return g.FeatureImportance()
+}
+
+// Explain reports how often each feature was consulted on the item's
+// decision paths through the boosted-tree ensemble, most-used first —
+// a lightweight "why was this item flagged" for reviewer workflows. It
+// errors for non-tree classifiers.
+func (s *System) Explain(item *Item) ([]gbt.Importance, error) {
+	return s.detector.Explain(item)
+}
+
+// MLDataset extracts the feature matrix + labels for a labeled item
+// set, for callers running their own evaluations (cross-validation,
+// baselines).
+func (s *System) MLDataset(items []Item) *ml.Dataset {
+	return s.detector.BuildMLDataset(items, s.workers)
+}
+
+// CollectOptions tunes Collect's crawl.
+type CollectOptions struct {
+	// Workers is the concurrent fetcher count; <= 0 means 8.
+	Workers int
+	// RatePerSecond politely caps the request rate; <= 0 disables.
+	RatePerSecond float64
+	// Timeout bounds the whole crawl; <= 0 means no limit.
+	Timeout time.Duration
+}
+
+// Collect crawls an e-commerce site's public pages (shop directory →
+// items → comments) into a Dataset, deduplicating comment records. The
+// site must speak the JSON page protocol of repro/internal/platform —
+// the simulated stand-in for a real platform's public web pages.
+func Collect(ctx context.Context, baseURL, name string, opts CollectOptions) (*Dataset, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	col := collector.New(baseURL, crawler.Config{
+		Workers:       opts.Workers,
+		RatePerSecond: opts.RatePerSecond,
+	})
+	res, err := col.Collect(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return &res.Dataset, nil
+}

@@ -1,0 +1,332 @@
+package cats
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/synth"
+	"repro/internal/textgen"
+)
+
+// trainSystem trains a full system (word2vec → lexicons → sentiment →
+// GBT) on synthetic stand-ins for the paper's corpora.
+func trainSystem(t *testing.T) *System {
+	t.Helper()
+	bank := textgen.NewBank()
+	corpus := synth.TrainingCorpus(3000, 51)
+	polarTexts, polarLabels := synth.PolarCorpus(1000, 52)
+	d0 := synth.Generate(synth.Config{
+		Name: "D0", Seed: 53, FraudEvidence: 150, FraudManual: 20, Normal: 230, Shops: 10,
+	})
+	sys, err := Train(context.Background(), TrainingInput{
+		Corpus:      corpus,
+		PolarTexts:  polarTexts,
+		PolarLabels: polarLabels,
+		Vocabulary:  bank.Vocabulary(),
+		Labeled:     &d0.Dataset,
+	}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTrainAndDetect(t *testing.T) {
+	sys := trainSystem(t)
+	test := synth.Generate(synth.Config{
+		Name: "test", Seed: 54, FraudEvidence: 50, Normal: 100, Shops: 5,
+	})
+	dets, err := sys.Detect(test.Dataset.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, fp, fn int
+	for i, det := range dets {
+		truth := test.Dataset.Items[i].Label.IsFraud()
+		switch {
+		case det.IsFraud && truth:
+			tp++
+		case det.IsFraud && !truth:
+			fp++
+		case !det.IsFraud && truth:
+			fn++
+		}
+	}
+	prec := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	// The paper reports 0.91/0.90 on D1; the full self-trained pipeline
+	// (learned lexicons, learned sentiment) should land in the same
+	// regime on synthetic data.
+	if prec < 0.8 || rec < 0.8 {
+		t.Fatalf("P=%.3f R=%.3f, want both >= 0.8", prec, rec)
+	}
+}
+
+func TestTrainRequiresLabeledData(t *testing.T) {
+	if _, err := Train(context.Background(), TrainingInput{}, DefaultConfig()); err == nil {
+		t.Fatal("Train without labeled data should error")
+	}
+}
+
+func TestFeaturesExposed(t *testing.T) {
+	sys := trainSystem(t)
+	test := synth.Generate(synth.Config{
+		Name: "f", Seed: 55, FraudEvidence: 1, Normal: 1, Shops: 1,
+	})
+	v := sys.Features(&test.Dataset.Items[0])
+	if len(v) != len(FeatureNames) {
+		t.Fatalf("Features len = %d, want %d", len(v), len(FeatureNames))
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	sys := trainSystem(t)
+	imp, err := sys.FeatureImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 11 {
+		t.Fatalf("importance entries = %d, want 11", len(imp))
+	}
+	total := 0
+	for _, e := range imp {
+		total += e.Splits
+	}
+	if total == 0 {
+		t.Fatal("no splits recorded")
+	}
+}
+
+func TestFeatureImportanceWrongClassifier(t *testing.T) {
+	bank := textgen.NewBank()
+	polarTexts, polarLabels := synth.PolarCorpus(600, 56)
+	d0 := synth.Generate(synth.Config{
+		Name: "D0", Seed: 57, FraudEvidence: 60, Normal: 60, Shops: 4,
+	})
+	cfg := DefaultConfig()
+	cfg.Detector.Classifier = NaiveBayes
+	sys, err := Train(context.Background(), TrainingInput{
+		Corpus:      synth.TrainingCorpus(1500, 58),
+		PolarTexts:  polarTexts,
+		PolarLabels: polarLabels,
+		Vocabulary:  bank.Vocabulary(),
+		Labeled:     &d0.Dataset,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.FeatureImportance(); err == nil {
+		t.Fatal("NaiveBayes importance should error")
+	}
+}
+
+func TestCollectIntegration(t *testing.T) {
+	u := synth.Generate(synth.Config{
+		Name: "site", Seed: 59, FraudEvidence: 5, Normal: 25, Shops: 4,
+	})
+	srv := platform.New(u, platform.Options{PageSize: 9})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ds, err := Collect(context.Background(), ts.URL, "e-platform", CollectOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Items) != 30 {
+		t.Fatalf("collected %d items, want 30", len(ds.Items))
+	}
+	if ds.Name != "e-platform" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+}
+
+func TestCrossPlatformDetection(t *testing.T) {
+	// The headline experiment shape: train on platform A's labeled
+	// data, crawl platform B over HTTP, detect, audit against B's
+	// hidden ground truth.
+	sys := trainSystem(t)
+
+	b := synth.Generate(synth.Config{
+		Name: "B", Platform: "eplat", Seed: 60,
+		FraudEvidence: 30, Normal: 120, Shops: 6, StyleJitter: 0.12,
+	})
+	srv := platform.New(b, platform.Options{PageSize: 20})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	collected, err := Collect(context.Background(), ts.URL, "B", CollectOptions{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := sys.Detect(collected.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]bool{}
+	for i := range b.Dataset.Items {
+		truth[b.Dataset.Items[i].ID] = b.Dataset.Items[i].Label.IsFraud()
+	}
+	var tp, fp int
+	for i, det := range dets {
+		if det.IsFraud {
+			if truth[collected.Items[i].ID] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	if tp+fp == 0 {
+		t.Fatal("no fraud reported on platform B")
+	}
+	prec := float64(tp) / float64(tp+fp)
+	if prec < 0.8 {
+		t.Fatalf("cross-platform precision %.3f, want >= 0.8 (paper: 0.96)", prec)
+	}
+}
+
+func TestMLDataset(t *testing.T) {
+	sys := trainSystem(t)
+	test := synth.Generate(synth.Config{
+		Name: "m", Seed: 61, FraudEvidence: 10, Normal: 10, Shops: 2,
+	})
+	mlds := sys.MLDataset(test.Dataset.Items)
+	if mlds.Len() != 20 || mlds.NumFeatures() != 11 {
+		t.Fatalf("MLDataset shape %dx%d", mlds.Len(), mlds.NumFeatures())
+	}
+}
+
+func TestAccessorsAndDetectItem(t *testing.T) {
+	sys := trainSystem(t)
+	if sys.Analyzer() == nil || sys.Detector() == nil {
+		t.Fatal("nil accessors")
+	}
+	test := synth.Generate(synth.Config{
+		Name: "single", Seed: 62, FraudEvidence: 3, Normal: 3, Shops: 2,
+	})
+	det, err := sys.DetectItem(&test.Dataset.Items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.ItemID != test.Dataset.Items[0].ID {
+		t.Fatalf("DetectItem id = %q", det.ItemID)
+	}
+	// Single-item and batch paths must agree.
+	batch, err := sys.Detect(test.Dataset.Items[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != det {
+		t.Fatalf("DetectItem %+v != Detect[0] %+v", det, batch[0])
+	}
+}
+
+func TestCollectTimeout(t *testing.T) {
+	// A server that never responds: Collect must respect the timeout.
+	blocked := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-blocked:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(blocked)
+	start := time.Now()
+	_, err := Collect(context.Background(), ts.URL, "slow", CollectOptions{
+		Workers: 1, Timeout: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Collect should fail on timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Collect did not stop promptly")
+	}
+}
+
+func TestCollectBadURL(t *testing.T) {
+	// Connection refused: the crawl completes with zero fetched pages
+	// and an empty dataset rather than hanging.
+	ds, err := Collect(context.Background(), "http://127.0.0.1:1", "down", CollectOptions{Workers: 1})
+	if err != nil {
+		return // an error is acceptable too
+	}
+	if len(ds.Items) != 0 {
+		t.Fatalf("collected %d items from a dead host", len(ds.Items))
+	}
+}
+
+func TestTrainContextCanceled(t *testing.T) {
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(300, 63)
+	d0 := synth.Generate(synth.Config{
+		Name: "D0", Seed: 64, FraudEvidence: 20, Normal: 20, Shops: 2,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Train(ctx, TrainingInput{
+		Corpus:      synth.TrainingCorpus(500, 65),
+		PolarTexts:  texts,
+		PolarLabels: labels,
+		Vocabulary:  bank.Vocabulary(),
+		Labeled:     &d0.Dataset,
+	}, DefaultConfig())
+	if err == nil {
+		t.Fatal("canceled context should abort training")
+	}
+}
+
+func TestSaveUnsupportedClassifier(t *testing.T) {
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(400, 66)
+	d0 := synth.Generate(synth.Config{
+		Name: "D0", Seed: 67, FraudEvidence: 40, Normal: 40, Shops: 3,
+	})
+	cfg := DefaultConfig()
+	cfg.Detector.Classifier = DecisionTree
+	sys, err := Train(context.Background(), TrainingInput{
+		Corpus:      synth.TrainingCorpus(1500, 68),
+		PolarTexts:  texts,
+		PolarLabels: labels,
+		Vocabulary:  bank.Vocabulary(),
+		Labeled:     &d0.Dataset,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf, bank.Vocabulary()); err == nil {
+		t.Fatal("saving a decision-tree system should error")
+	}
+}
+
+func TestSaveFileBadPath(t *testing.T) {
+	sys := trainSystem(t)
+	err := sys.SaveFile(filepath.Join(t.TempDir(), "missing-dir", "model.json"), textgen.NewBank().Vocabulary())
+	if err == nil {
+		t.Fatal("SaveFile into a missing directory should error")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	sys := trainSystem(t)
+	test := synth.Generate(synth.Config{
+		Name: "explain", Seed: 69, FraudEvidence: 2, Normal: 2, Shops: 1,
+	})
+	exp, err := sys.Explain(&test.Dataset.Items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp) != 11 {
+		t.Fatalf("explanation entries = %d, want 11", len(exp))
+	}
+	if exp[0].Splits == 0 {
+		t.Fatal("top feature consulted zero times")
+	}
+}

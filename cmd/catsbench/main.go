@@ -1,0 +1,139 @@
+// Command catsbench regenerates every table and figure of the paper's
+// evaluation on the synthetic stand-in universes, printing each in a
+// paper-like textual format.
+//
+// Usage:
+//
+//	catsbench [-exp all|table1|table3|table4|table5|table6|
+//	           fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig10|fig11|fig12|fig13|
+//	           eplatform|riskyusers|
+//	           filterablation|featureablation|lexiconablation|gbtablation]
+//	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
+//
+// Scales default to laptop-sized fractions of the paper's dataset
+// sizes; raise them toward 1.0 to approach the full-size experiments.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		d0scale = flag.Float64("d0scale", 0, "D0 scale factor (default 0.05)")
+		d1scale = flag.Float64("d1scale", 0, "D1 scale factor (default 0.004)")
+		epscale = flag.Float64("epscale", 0, "E-platform scale factor (default 0.002)")
+		sample  = flag.Int("sample", 0, "per-class item sample for distribution figures (default 400)")
+		corpus  = flag.Int("corpus", 0, "word2vec corpus comments (default 20000)")
+		seed    = flag.Int64("seed", 0, "seed offset for all universes")
+	)
+	flag.Parse()
+
+	lab := experiments.NewLab(experiments.Config{
+		D0Scale: *d0scale, D1Scale: *d1scale, EPlatScale: *epscale,
+		SampleItems: *sample, CorpusComments: *corpus, Seed: *seed,
+	})
+	if err := run(lab, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "catsbench:", err)
+		os.Exit(1)
+	}
+}
+
+// experimentOrder lists every experiment in report order.
+var experimentOrder = []string{
+	"table1", "table3", "table4", "table5", "table6",
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "appendix",
+	"fig10", "fig11", "fig12", "fig13",
+	"eplatform", "riskyusers", "timeaspect", "deployment", "thresholdsweep", "robustness",
+	"learningcurve", "roundscurve",
+	"filterablation", "featureablation", "lexiconablation", "gbtablation",
+}
+
+func run(lab *experiments.Lab, exp string) error {
+	if exp == "all" {
+		for _, id := range experimentOrder {
+			if err := run(lab, id); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	start := time.Now()
+	var out fmt.Stringer
+	var err error
+	switch exp {
+	case "table1":
+		out, err = lab.Table1()
+	case "table3":
+		out, err = lab.Table3()
+	case "table4":
+		out = lab.Table4()
+	case "table5":
+		out = lab.Table5()
+	case "table6":
+		out, err = lab.Table6()
+	case "fig1":
+		out, err = lab.Fig1()
+	case "fig2":
+		out, err = lab.Fig2()
+	case "fig3":
+		out, err = lab.Fig3()
+	case "fig4":
+		out, err = lab.Fig4()
+	case "fig5":
+		out, err = lab.Fig5()
+	case "fig7":
+		out, err = lab.Fig7()
+	case "fig8", "fig9":
+		out, err = lab.Fig8()
+	case "appendix":
+		out, err = lab.Appendix()
+	case "fig10":
+		out, err = lab.Fig10()
+	case "fig11":
+		out = lab.Fig11()
+	case "fig12":
+		out = lab.Fig12()
+	case "fig13":
+		out, err = lab.Fig13()
+	case "eplatform":
+		out, err = lab.EPlatform(context.Background())
+	case "riskyusers":
+		out = lab.RiskyUsers()
+	case "deployment":
+		out, err = lab.Deployment()
+	case "thresholdsweep":
+		out, err = lab.ThresholdSweep()
+	case "robustness":
+		out, err = lab.RobustnessSweep()
+	case "timeaspect":
+		out = lab.TimeAspect()
+	case "learningcurve":
+		out, err = lab.LearningCurve()
+	case "roundscurve":
+		out, err = lab.RoundsCurve()
+	case "filterablation":
+		out, err = lab.FilterAblation()
+	case "featureablation":
+		out, err = lab.FeatureGroupAblation()
+	case "lexiconablation":
+		out, err = lab.LexiconSizeAblation()
+	case "gbtablation":
+		out, err = lab.GBTAblation()
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out.String())
+	fmt.Printf("  [%s in %v]\n\n", exp, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,57 @@
+// Command catsgen generates the synthetic stand-in datasets (D0, D1,
+// E-platform) as JSONL files for offline experimentation.
+//
+// Usage:
+//
+//	catsgen -dataset d0|d1|eplatform [-scale f] [-seed n] -out items.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "d0", "dataset to generate: d0, d1, eplatform")
+		scale = flag.Float64("scale", 0.01, "scale factor relative to the paper's sizes")
+		seed  = flag.Int64("seed", 0, "seed offset")
+		out   = flag.String("out", "", "output JSONL path (required)")
+	)
+	flag.Parse()
+	if err := run(*name, *scale, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "catsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, scale float64, seed int64, out string) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	var cfg synth.Config
+	switch name {
+	case "d0":
+		cfg = synth.D0Config()
+	case "d1":
+		cfg = synth.D1Config()
+	case "eplatform":
+		cfg = synth.EPlatformConfig()
+	default:
+		return fmt.Errorf("unknown dataset %q", name)
+	}
+	cfg = cfg.Scale(scale)
+	cfg.Seed += seed
+	u := synth.Generate(cfg)
+	if err := dataset.WriteAll(out, &u.Dataset); err != nil {
+		return err
+	}
+	s := u.Dataset.Stats()
+	fmt.Printf("wrote %s: %d fraud (%d evidence, %d manual), %d normal, %d comments\n",
+		out, s.FraudItems, s.EvidenceFraud, s.ManualFraud, s.NormalItems, s.Comments)
+	return nil
+}

@@ -1,0 +1,55 @@
+// Command catsserve serves a trained CATS model over HTTP (see
+// repro/internal/service for the API).
+//
+// Usage:
+//
+//	catsserve -model model.json [-addr :8080]
+//
+// Models are produced by `cats -train ... -save-model model.json` or
+// the library's System.SaveFile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model JSON (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "catsserve: -model is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatalf("catsserve: %v", err)
+	}
+	snap, err := core.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("catsserve: %v", err)
+	}
+	det, analyzer, err := core.DetectorFromSnapshot(snap)
+	if err != nil {
+		log.Fatalf("catsserve: %v", err)
+	}
+	srv := service.New(det, analyzer, service.Options{
+		// Saved models carry their drift baseline; with it set the
+		// /v1/drift endpoint tracks traffic divergence automatically.
+		TrainingSample: det.TrainingSample(),
+	})
+	log.Printf("catsserve: listening on %s (drift tracking: %v)", *addr, len(det.TrainingSample()) > 0)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("catsserve: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package collector implements CATS' data collector (Section IV-A): a
+// three-level walk over a platform's public pages — shop directory →
+// per-shop item listings → per-item comment pages — built on the
+// crawler framework, with the noise filtering the paper describes
+// (duplicate comment records are dropped).
+package collector
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/crawler"
+	"repro/internal/ecom"
+	"repro/internal/platform"
+)
+
+// Collector crawls one platform into an in-memory dataset.
+type Collector struct {
+	crawler *crawler.Crawler
+
+	mu    sync.Mutex
+	items map[string]*ecom.Item
+	// seenComment deduplicates comment records across pages (the
+	// "noisy data" filter).
+	seenComment map[string]struct{}
+	dupComments int
+}
+
+// New returns a Collector fetching through base (scheme://host) with
+// the given crawl configuration.
+func New(base string, cfg crawler.Config) *Collector {
+	return &Collector{
+		crawler:     crawler.New(base, cfg),
+		items:       map[string]*ecom.Item{},
+		seenComment: map[string]struct{}{},
+	}
+}
+
+// Result is a finished collection run.
+type Result struct {
+	Dataset           ecom.Dataset
+	CrawlStats        crawler.Stats
+	DuplicateComments int
+}
+
+// Collect walks the whole site and returns the collected dataset. Item
+// labels are ecom.Normal throughout: a third-party collector sees no
+// ground truth.
+func (c *Collector) Collect(ctx context.Context, name string) (*Result, error) {
+	stats, err := c.crawler.Run(ctx, []string{platform.URLForShops(0)}, c.handle)
+	if err != nil {
+		return nil, fmt.Errorf("collector: crawl: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := &Result{
+		Dataset:           ecom.Dataset{Name: name},
+		CrawlStats:        stats,
+		DuplicateComments: c.dupComments,
+	}
+	for _, it := range c.items {
+		res.Dataset.Items = append(res.Dataset.Items, *it)
+	}
+	return res, nil
+}
+
+// handle dispatches on the page shape: every page type carries a
+// distinguishing field, so a single handler with three decoders keeps
+// the crawl logic in one place.
+func (c *Collector) handle(resp *crawler.Response, enqueue func(string)) error {
+	switch classify(resp.URL) {
+	case pageShops:
+		var page platform.ShopPage
+		if err := json.Unmarshal(resp.Body, &page); err != nil {
+			return fmt.Errorf("decode shop page: %w", err)
+		}
+		for _, s := range page.Shops {
+			enqueue(platform.URLForShopItems(s.ID, 0))
+		}
+		if page.HasNext {
+			enqueue(platform.URLForShops(page.Page + 1))
+		}
+	case pageItems:
+		var page platform.ItemPage
+		if err := json.Unmarshal(resp.Body, &page); err != nil {
+			return fmt.Errorf("decode item page: %w", err)
+		}
+		c.mu.Lock()
+		for _, sum := range page.Items {
+			if _, ok := c.items[sum.ID]; !ok {
+				c.items[sum.ID] = &ecom.Item{
+					ID: sum.ID, ShopID: sum.ShopID, Name: sum.Name,
+					PriceCents: sum.PriceCents, SalesVolume: sum.SalesVolume,
+				}
+			}
+		}
+		c.mu.Unlock()
+		for _, sum := range page.Items {
+			enqueue(platform.URLForComments(sum.ID, 0))
+		}
+		if page.HasNext {
+			shopID := page.Items[0].ShopID
+			enqueue(platform.URLForShopItems(shopID, page.Page+1))
+		}
+	case pageComments:
+		var page platform.CommentPage
+		if err := json.Unmarshal(resp.Body, &page); err != nil {
+			return fmt.Errorf("decode comment page: %w", err)
+		}
+		c.mu.Lock()
+		var itemID string
+		for _, cm := range page.Comments {
+			itemID = cm.ItemID
+			key := cm.ItemID + "\x00" + cm.ID
+			if _, dup := c.seenComment[key]; dup {
+				c.dupComments++
+				continue
+			}
+			c.seenComment[key] = struct{}{}
+			if it, ok := c.items[cm.ItemID]; ok {
+				it.Comments = append(it.Comments, cm)
+			}
+		}
+		c.mu.Unlock()
+		if page.HasNext && itemID != "" {
+			enqueue(platform.URLForComments(itemID, page.Page+1))
+		}
+	default:
+		return fmt.Errorf("unrecognized page URL %q", resp.URL)
+	}
+	return nil
+}
+
+type pageKind int
+
+const (
+	pageUnknown pageKind = iota
+	pageShops
+	pageItems
+	pageComments
+)
+
+func classify(url string) pageKind {
+	switch {
+	case strings.HasPrefix(url, "/shops?"):
+		return pageShops
+	case strings.HasPrefix(url, "/shops/") && strings.Contains(url, "/items"):
+		return pageItems
+	case strings.HasPrefix(url, "/items/") && strings.Contains(url, "/comments"):
+		return pageComments
+	default:
+		return pageUnknown
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/lexicon"
+	"repro/internal/ml/gbt"
+	"repro/internal/sentiment"
+	"repro/internal/tokenize"
+	"repro/internal/word2vec"
+)
+
+// snapshotVersion is bumped on incompatible format changes.
+const snapshotVersion = 1
+
+// AnalyzerSnapshot is the JSON-serializable form of a trained semantic
+// analyzer: the segmenter dictionary, the expanded lexicons, the
+// sentiment model, and (optionally) the word2vec embeddings.
+type AnalyzerSnapshot struct {
+	Vocabulary []string            `json:"vocabulary"`
+	Positive   []string            `json:"positive"`
+	Negative   []string            `json:"negative"`
+	Sentiment  *sentiment.Snapshot `json:"sentiment"`
+	Embedding  *word2vec.Snapshot  `json:"embedding,omitempty"`
+}
+
+// Snapshot captures the analyzer. The segmenter dictionary cannot be
+// read back out of a Segmenter, so the caller supplies the vocabulary
+// it was built with.
+func (a *Analyzer) Snapshot(vocabulary []string) (*AnalyzerSnapshot, error) {
+	if a.Positive == nil || a.Negative == nil || a.Sentiment == nil {
+		return nil, errors.New("core: analyzer incomplete; cannot snapshot")
+	}
+	sent, err := a.Sentiment.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot sentiment: %w", err)
+	}
+	s := &AnalyzerSnapshot{
+		Vocabulary: append([]string(nil), vocabulary...),
+		Positive:   a.Positive.Words(),
+		Negative:   a.Negative.Words(),
+		Sentiment:  sent,
+	}
+	if a.Embedding != nil {
+		s.Embedding = a.Embedding.Snapshot()
+	}
+	return s, nil
+}
+
+// AnalyzerFromSnapshot reconstructs an analyzer.
+func AnalyzerFromSnapshot(s *AnalyzerSnapshot) (*Analyzer, error) {
+	if s == nil {
+		return nil, errors.New("core: nil analyzer snapshot")
+	}
+	sent, err := sentiment.FromSnapshot(s.Sentiment)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore sentiment: %w", err)
+	}
+	a := &Analyzer{
+		Segmenter: tokenize.NewSegmenter(s.Vocabulary),
+		Positive:  lexicon.NewSet(s.Positive),
+		Negative:  lexicon.NewSet(s.Negative),
+		Sentiment: sent,
+	}
+	if s.Embedding != nil {
+		emb, err := word2vec.FromSnapshot(s.Embedding)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore embedding: %w", err)
+		}
+		a.Embedding = emb
+	}
+	return a, nil
+}
+
+// DetectorSnapshot is the JSON-serializable form of a trained detector
+// (analyzer + rule-filter settings + the fitted boosted-tree model).
+// Only the default boosted-tree classifier supports persistence.
+type DetectorSnapshot struct {
+	Version  int               `json:"version"`
+	Analyzer *AnalyzerSnapshot `json:"analyzer"`
+	Config   DetectorConfig    `json:"config"`
+	GBT      *gbt.Snapshot     `json:"gbt"`
+	// TrainingSample is the drift baseline: a bounded sample of
+	// training feature vectors, so deployments restored from the
+	// snapshot can monitor traffic drift.
+	TrainingSample [][]float64 `json:"training_sample,omitempty"`
+}
+
+// ErrUnsupportedPersistence is returned when snapshotting a detector
+// whose classifier is not the boosted-tree model.
+var ErrUnsupportedPersistence = errors.New("core: only the boosted-tree classifier supports persistence")
+
+// Snapshot captures a trained detector. vocabulary is the segmenter
+// dictionary the analyzer was built with.
+func (d *Detector) Snapshot(vocabulary []string, a *Analyzer) (*DetectorSnapshot, error) {
+	if !d.trained {
+		return nil, ErrNotTrained
+	}
+	g, ok := d.clf.(*gbt.Classifier)
+	if !ok {
+		return nil, ErrUnsupportedPersistence
+	}
+	gs, err := g.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	as, err := a.Snapshot(vocabulary)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectorSnapshot{
+		Version:        snapshotVersion,
+		Analyzer:       as,
+		Config:         d.cfg,
+		GBT:            gs,
+		TrainingSample: d.trainSample,
+	}, nil
+}
+
+// DetectorFromSnapshot reconstructs a trained detector and its
+// analyzer.
+func DetectorFromSnapshot(s *DetectorSnapshot) (*Detector, *Analyzer, error) {
+	if s == nil {
+		return nil, nil, errors.New("core: nil detector snapshot")
+	}
+	if s.Version != snapshotVersion {
+		return nil, nil, fmt.Errorf("core: snapshot version %d unsupported (want %d)", s.Version, snapshotVersion)
+	}
+	a, err := AnalyzerFromSnapshot(s.Analyzer)
+	if err != nil {
+		return nil, nil, err
+	}
+	clf, err := gbt.FromSnapshot(s.GBT)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &Detector{
+		cfg:         s.Config.withDefaults(),
+		extractor:   a.Extractor(),
+		clf:         clf,
+		trained:     true,
+		trainSample: s.TrainingSample,
+	}
+	return d, a, nil
+}
+
+// WriteSnapshot JSON-encodes a detector snapshot to w.
+func WriteSnapshot(w io.Writer, s *DetectorSnapshot) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("core: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a detector snapshot from r.
+func ReadSnapshot(r io.Reader) (*DetectorSnapshot, error) {
+	var s DetectorSnapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/ecom"
+)
+
+// StreamStats summarizes a streaming detection run.
+type StreamStats struct {
+	Items    int
+	Reported int
+	Filtered int
+}
+
+// DetectStream scores items from a JSONL reader without materializing
+// the dataset: items are read in batches, features are extracted in
+// parallel, and each detection is handed to emit in input order. This
+// is the path for full-scale runs (the paper's D1 has 1.48M items and
+// 72M comments — far beyond comfortable in-memory slices).
+//
+// emit must not retain the Detection pointer past its call. A non-nil
+// error from emit aborts the stream.
+func (d *Detector) DetectStream(r *dataset.Reader, batchSize int, emit func(*ecom.Item, Detection) error) (StreamStats, error) {
+	var stats StreamStats
+	if !d.trained {
+		return stats, ErrNotTrained
+	}
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	workers := runtime.GOMAXPROCS(0)
+	batch := make([]ecom.Item, 0, batchSize)
+
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		dets := make([]Detection, len(batch))
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					det := Detection{ItemID: batch[i].ID}
+					if !d.PassesFilter(&batch[i]) {
+						det.Filtered = true
+					} else {
+						det.Score = d.clf.PredictProba(d.extractor.Vector(&batch[i]))
+						det.IsFraud = det.Score >= d.cfg.Threshold
+					}
+					dets[i] = det
+				}
+			}()
+		}
+		for i := range batch {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+		for i := range batch {
+			stats.Items++
+			if dets[i].Filtered {
+				stats.Filtered++
+			}
+			if dets[i].IsFraud {
+				stats.Reported++
+			}
+			if err := emit(&batch[i], dets[i]); err != nil {
+				return fmt.Errorf("core: emit: %w", err)
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	for {
+		item, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return stats, fmt.Errorf("core: stream read: %w", err)
+		}
+		batch = append(batch, *item)
+		if len(batch) >= batchSize {
+			if err := flush(); err != nil {
+				return stats, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,282 @@
+// Package crawler is a small concurrent web-crawling framework — the
+// Go substitute for the Scrapy scaffolding the paper's data collector
+// is built on. It provides the pieces a polite scraper needs: a
+// bounded worker pool, a URL frontier with duplicate suppression, a
+// global rate limiter, bounded retries with backoff on transient
+// failures, and a response-handler callback that can enqueue follow-up
+// requests (Scrapy's "spider" contract).
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a crawl.
+type Config struct {
+	// Workers is the number of concurrent fetchers; <= 0 means 8.
+	Workers int
+	// RatePerSecond caps the global request rate ("our data collector
+	// was designed to minimize server impact"); <= 0 disables limiting.
+	RatePerSecond float64
+	// MaxRetries bounds retry attempts per URL on transient errors
+	// (5xx and network failures); < 0 means 0, default 3.
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries, doubled per
+	// attempt; <= 0 means 10ms.
+	RetryBackoff time.Duration
+	// MaxBodyBytes bounds response body reads; <= 0 means 16 MiB.
+	MaxBodyBytes int64
+	// IgnoreRobots skips fetching and honoring the site's robots.txt.
+	// By default the crawler fetches /robots.txt once per crawl,
+	// excludes Disallow-prefixed paths, and applies any Crawl-delay as
+	// a rate cap — the politeness Scrapy applies by default and the
+	// paper's ethics section commits to.
+	IgnoreRobots bool
+	// Client is the HTTP client to use; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// Response is a fetched page handed to the Handler.
+type Response struct {
+	URL        string
+	StatusCode int
+	Body       []byte
+}
+
+// Handler processes one fetched page. Enqueue schedules follow-up URLs
+// on the same crawl (duplicates are suppressed). Handlers run
+// concurrently and must be safe for concurrent use.
+type Handler func(resp *Response, enqueue func(url string)) error
+
+// Stats summarizes a finished crawl.
+type Stats struct {
+	Fetched        int64 // pages successfully fetched and handled
+	Duplicates     int64 // enqueue calls suppressed by the seen-set
+	Retries        int64 // retry attempts performed
+	Failures       int64 // pages abandoned after exhausting retries
+	RobotsExcluded int64 // enqueue calls rejected by robots.txt
+}
+
+// Crawler runs crawls against a fixed base URL.
+type Crawler struct {
+	cfg  Config
+	base string
+}
+
+// New returns a Crawler rooted at baseURL (scheme://host, no trailing
+// slash required).
+func New(baseURL string, cfg Config) *Crawler {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Crawler{cfg: cfg.withDefaults(), base: baseURL}
+}
+
+// ErrNoSeeds is returned by Run when no seed URLs are given.
+var ErrNoSeeds = errors.New("crawler: no seed URLs")
+
+// Run crawls from the seed paths until the frontier drains, the context
+// is canceled, or a handler returns a non-transient error. Paths are
+// site-relative (e.g. "/shops?page=0").
+func (c *Crawler) Run(ctx context.Context, seeds []string, handle Handler) (Stats, error) {
+	if len(seeds) == 0 {
+		return Stats{}, ErrNoSeeds
+	}
+	var (
+		stats   Stats
+		mu      sync.Mutex
+		seen    = map[string]struct{}{}
+		pending int64
+		queue   = make(chan string, 4096)
+		// firstErr captures the first fatal handler error.
+		firstErr atomic.Value
+	)
+
+	var robots *robotsPolicy
+	if !c.cfg.IgnoreRobots {
+		robots = c.fetchRobots(ctx)
+	}
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	closeDone := func() { closeOnce.Do(func() { close(done) }) }
+
+	// Effective rate: the stricter of the configured rate and the
+	// site's Crawl-delay.
+	rate := c.cfg.RatePerSecond
+	if robots != nil && robots.crawlDelay > 0 {
+		robotsRate := 1 / robots.crawlDelay
+		if rate <= 0 || robotsRate < rate {
+			rate = robotsRate
+		}
+	}
+	var limiter *time.Ticker
+	if rate > 0 {
+		limiter = time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer limiter.Stop()
+	}
+
+	enqueue := func(url string) {
+		if !robots.allowed(url) {
+			atomic.AddInt64(&stats.RobotsExcluded, 1)
+			return
+		}
+		mu.Lock()
+		if _, ok := seen[url]; ok {
+			mu.Unlock()
+			atomic.AddInt64(&stats.Duplicates, 1)
+			return
+		}
+		seen[url] = struct{}{}
+		mu.Unlock()
+		atomic.AddInt64(&pending, 1)
+		select {
+		case queue <- url:
+		case <-done:
+			atomic.AddInt64(&pending, -1)
+		}
+	}
+
+	finish := func() {
+		if atomic.AddInt64(&pending, -1) == 0 {
+			closeDone()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				case url := <-queue:
+					c.process(ctx, url, limiter, handle, enqueue, &stats, &firstErr)
+					finish()
+				}
+			}
+		}()
+	}
+
+	// Hold a guard unit of pending work while seeding, so the crawl
+	// cannot be declared complete between seed enqueues (or before it
+	// is known whether any seed was accepted at all — robots exclusion
+	// can reject every seed).
+	atomic.AddInt64(&pending, 1)
+	for _, s := range seeds {
+		enqueue(s)
+	}
+	finish() // release the seeding guard
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	// Unblock any workers parked on the queue.
+	closeDone()
+	wg.Wait()
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return stats, err
+	}
+	return stats, ctx.Err()
+}
+
+func (c *Crawler) process(ctx context.Context, url string, limiter *time.Ticker, handle Handler, enqueue func(string), stats *Stats, firstErr *atomic.Value) {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		if limiter != nil {
+			select {
+			case <-limiter.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+		resp, err := c.fetch(ctx, url)
+		if err == nil && resp.StatusCode < 500 {
+			if resp.StatusCode != http.StatusOK {
+				// Permanent-ish (404 etc.): count as failure, no retry.
+				atomic.AddInt64(&stats.Failures, 1)
+				return
+			}
+			if herr := handle(resp, enqueue); herr != nil {
+				firstErr.CompareAndSwap(nil, fmt.Errorf("crawler: handler for %s: %w", url, herr))
+				return
+			}
+			atomic.AddInt64(&stats.Fetched, 1)
+			return
+		}
+		// Transient: 5xx or transport error.
+		if attempt >= c.cfg.MaxRetries {
+			atomic.AddInt64(&stats.Failures, 1)
+			return
+		}
+		atomic.AddInt64(&stats.Retries, 1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// fetchRobots retrieves and parses the site's /robots.txt. Any failure
+// (missing file, network error) yields an allow-everything policy, the
+// conventional interpretation.
+func (c *Crawler) fetchRobots(ctx context.Context) *robotsPolicy {
+	resp, err := c.fetch(ctx, "/robots.txt")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return parseRobots(string(resp.Body))
+}
+
+func (c *Crawler) fetch(ctx context.Context, url string) (*Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &Response{URL: url, StatusCode: resp.StatusCode, Body: body}, nil
+}

@@ -1,0 +1,268 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chainSite serves /page/N for N in [0, n); each page links to the next.
+func chainSite(n int) http.Handler {
+	mux := http.NewServeMux()
+	for i := 0; i < n; i++ {
+		i := i
+		mux.HandleFunc(fmt.Sprintf("/page/%d", i), func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "%d", i)
+		})
+	}
+	return mux
+}
+
+func TestCrawlFollowsLinks(t *testing.T) {
+	const pages = 25
+	ts := httptest.NewServer(chainSite(pages))
+	defer ts.Close()
+
+	var visited sync.Map
+	c := New(ts.URL, Config{Workers: 4})
+	stats, err := c.Run(context.Background(), []string{"/page/0"}, func(resp *Response, enqueue func(string)) error {
+		var n int
+		fmt.Sscanf(string(resp.Body), "%d", &n)
+		visited.Store(n, true)
+		if n+1 < pages {
+			enqueue(fmt.Sprintf("/page/%d", n+1))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != pages {
+		t.Fatalf("Fetched = %d, want %d", stats.Fetched, pages)
+	}
+	for i := 0; i < pages; i++ {
+		if _, ok := visited.Load(i); !ok {
+			t.Fatalf("page %d never visited", i)
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	ts := httptest.NewServer(chainSite(3))
+	defer ts.Close()
+	var fetches atomic.Int64
+	c := New(ts.URL, Config{Workers: 2})
+	stats, err := c.Run(context.Background(), []string{"/page/0"}, func(resp *Response, enqueue func(string)) error {
+		fetches.Add(1)
+		// Every page re-enqueues every page; each must fetch once.
+		for i := 0; i < 3; i++ {
+			enqueue(fmt.Sprintf("/page/%d", i))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetches.Load() != 3 {
+		t.Fatalf("fetched %d times, want 3", fetches.Load())
+	}
+	if stats.Duplicates == 0 {
+		t.Fatal("expected duplicate suppressions")
+	}
+}
+
+func TestRetriesTransientFailures(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/robots.txt" {
+			http.NotFound(w, r)
+			return
+		}
+		if hits.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 1, MaxRetries: 3, RetryBackoff: time.Millisecond})
+	stats, err := c.Run(context.Background(), []string{"/x"}, func(resp *Response, enqueue func(string)) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 1 || stats.Retries != 2 || stats.Failures != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "always down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 1, MaxRetries: 2, RetryBackoff: time.Millisecond})
+	stats, err := c.Run(context.Background(), []string{"/x"}, func(resp *Response, enqueue func(string)) error {
+		t.Error("handler called for failed page")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures != 1 || stats.Retries != 2 || stats.Fetched != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func Test404NotRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/robots.txt" {
+			hits.Add(1)
+		}
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 1, MaxRetries: 5, RetryBackoff: time.Millisecond})
+	stats, err := c.Run(context.Background(), []string{"/gone"}, func(resp *Response, enqueue func(string)) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("404 fetched %d times, want 1", hits.Load())
+	}
+	if stats.Failures != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestHandlerErrorStopsCrawl(t *testing.T) {
+	ts := httptest.NewServer(chainSite(10))
+	defer ts.Close()
+	sentinel := errors.New("bad payload")
+	c := New(ts.URL, Config{Workers: 2})
+	_, err := c.Run(context.Background(), []string{"/page/0"}, func(resp *Response, enqueue func(string)) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := New(ts.URL, Config{Workers: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, []string{"/slow"}, func(resp *Response, enqueue func(string)) error { return nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crawl did not stop on context cancellation")
+	}
+	close(block)
+}
+
+func TestNoSeeds(t *testing.T) {
+	c := New("http://localhost:0", Config{})
+	if _, err := c.Run(context.Background(), nil, func(*Response, func(string)) error { return nil }); !errors.Is(err, ErrNoSeeds) {
+		t.Fatalf("err = %v, want ErrNoSeeds", err)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	// 10 pages at 50 rps should take ≈200ms; without limiting it is
+	// nearly instant.
+	c := New(ts.URL, Config{Workers: 8, RatePerSecond: 50})
+	start := time.Now()
+	_, err := c.Run(context.Background(), []string{"/0"}, func(resp *Response, enqueue func(string)) error {
+		if n := hits.Load(); n < 10 {
+			enqueue(fmt.Sprintf("/%d", n))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("crawl of ~10 pages at 50 rps finished in %v; limiter not applied", elapsed)
+	}
+}
+
+func TestBaseURLTrailingSlash(t *testing.T) {
+	ts := httptest.NewServer(chainSite(1))
+	defer ts.Close()
+	c := New(ts.URL+"///", Config{Workers: 1})
+	stats, err := c.Run(context.Background(), []string{"/page/0"}, func(resp *Response, enqueue func(string)) error { return nil })
+	if err != nil || stats.Fetched != 1 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	// Every enqueued-and-accepted URL ends as exactly one of Fetched
+	// or Failures.
+	var flaky atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if flaky.Add(1)%5 == 0 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 4, MaxRetries: 1, RetryBackoff: time.Millisecond})
+	const pages = 40
+	var next atomic.Int64
+	stats, err := c.Run(context.Background(), []string{"/p/0"}, func(resp *Response, enqueue func(string)) error {
+		if n := next.Add(1); n < pages {
+			enqueue(fmt.Sprintf("/p/%d", n))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some pages fail permanently (retried once, failed again); the
+	// rest are fetched. Enqueued count isn't directly observable, but
+	// fetched handlers drive enqueues, so fetched + failures must be
+	// at least fetched+1 and every fetch must have happened once.
+	if stats.Fetched == 0 {
+		t.Fatal("nothing fetched")
+	}
+	if stats.Fetched+stats.Failures < stats.Fetched {
+		t.Fatal("impossible stats")
+	}
+	if stats.Failures > 0 && stats.Retries == 0 {
+		t.Error("failures recorded without any retry attempts")
+	}
+}

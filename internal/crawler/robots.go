@@ -1,0 +1,78 @@
+package crawler
+
+import (
+	"strconv"
+	"strings"
+)
+
+// robotsPolicy is the subset of the robots exclusion protocol the
+// crawler honors: Disallow prefixes and Crawl-delay for the wildcard
+// user-agent (plus any agent group containing "*"). Scrapy honors
+// robots.txt by default, and the paper stresses its collector "was
+// designed to minimize server impact" — this is the corresponding
+// behavior here.
+type robotsPolicy struct {
+	disallow   []string
+	crawlDelay float64 // seconds; 0 = none specified
+}
+
+// parseRobots extracts the wildcard-agent rules from a robots.txt body.
+// Unknown directives are ignored; an empty or malformed file yields an
+// allow-everything policy.
+func parseRobots(body string) *robotsPolicy {
+	p := &robotsPolicy{}
+	applies := false
+	sawAgent := false
+	for _, raw := range strings.Split(body, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "user-agent":
+			// A new agent group starts; it applies to us if it is the
+			// wildcard. Consecutive User-agent lines extend the group.
+			if !sawAgent || !applies {
+				applies = val == "*"
+			}
+			sawAgent = true
+		case "disallow":
+			if applies && val != "" {
+				p.disallow = append(p.disallow, val)
+			}
+			sawAgent = false
+		case "crawl-delay":
+			if applies {
+				if d, err := strconv.ParseFloat(val, 64); err == nil && d > 0 {
+					p.crawlDelay = d
+				}
+			}
+			sawAgent = false
+		default:
+			sawAgent = false
+		}
+	}
+	return p
+}
+
+// allowed reports whether the site-relative URL may be fetched.
+func (p *robotsPolicy) allowed(url string) bool {
+	if p == nil {
+		return true
+	}
+	for _, prefix := range p.disallow {
+		if strings.HasPrefix(url, prefix) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,197 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRobots(t *testing.T) {
+	body := `
+# comment line
+User-agent: *
+Disallow: /private
+Disallow: /admin/
+Crawl-delay: 2
+
+User-agent: otherbot
+Disallow: /
+`
+	p := parseRobots(body)
+	if len(p.disallow) != 2 {
+		t.Fatalf("disallow = %v, want 2 wildcard rules", p.disallow)
+	}
+	if p.crawlDelay != 2 {
+		t.Fatalf("crawlDelay = %v, want 2", p.crawlDelay)
+	}
+	cases := map[string]bool{
+		"/private":       false,
+		"/private/page":  false,
+		"/admin/":        false,
+		"/admin":         true, // prefix is /admin/ with slash
+		"/public":        true,
+		"/shops?page=0":  true,
+		"/privateer... ": false, // prefix match, conventional behavior
+	}
+	for url, want := range cases {
+		if got := p.allowed(url); got != want {
+			t.Errorf("allowed(%q) = %v, want %v", url, got, want)
+		}
+	}
+}
+
+func TestParseRobotsOtherAgentIgnored(t *testing.T) {
+	p := parseRobots("User-agent: evilbot\nDisallow: /\n")
+	if len(p.disallow) != 0 {
+		t.Fatalf("non-wildcard rules applied: %v", p.disallow)
+	}
+	if !p.allowed("/anything") {
+		t.Fatal("everything should be allowed")
+	}
+}
+
+func TestParseRobotsEmptyAndGarbage(t *testing.T) {
+	for _, body := range []string{"", "garbage without colons\n%%%", "Disallow: /x"} {
+		p := parseRobots(body)
+		if !p.allowed("/x/y") && body != "Disallow: /x" {
+			t.Errorf("body %q disallowed unexpectedly", body)
+		}
+	}
+	// A Disallow before any User-agent applies to nobody.
+	p := parseRobots("Disallow: /x")
+	if !p.allowed("/x") {
+		t.Error("rule without agent group should not apply")
+	}
+}
+
+func TestNilPolicyAllowsAll(t *testing.T) {
+	var p *robotsPolicy
+	if !p.allowed("/anything") {
+		t.Fatal("nil policy must allow everything")
+	}
+}
+
+func TestCrawlHonorsRobots(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "User-agent: *\nDisallow: /secret\n")
+	})
+	var secretHits atomic.Int64
+	mux.HandleFunc("/secret", func(w http.ResponseWriter, r *http.Request) {
+		secretHits.Add(1)
+	})
+	mux.HandleFunc("/open", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, Config{Workers: 2})
+	stats, err := c.Run(context.Background(), []string{"/open"}, func(resp *Response, enqueue func(string)) error {
+		enqueue("/secret") // must be excluded
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secretHits.Load() != 0 {
+		t.Fatal("crawler fetched a robots-disallowed page")
+	}
+	if stats.RobotsExcluded != 1 {
+		t.Fatalf("RobotsExcluded = %d, want 1", stats.RobotsExcluded)
+	}
+	if stats.Fetched != 1 {
+		t.Fatalf("Fetched = %d, want 1", stats.Fetched)
+	}
+}
+
+func TestCrawlRobotsDisallowedSeed(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "User-agent: *\nDisallow: /\n")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 1})
+	stats, err := c.Run(context.Background(), []string{"/anything"}, func(resp *Response, enqueue func(string)) error {
+		t.Error("handler called for fully disallowed site")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RobotsExcluded != 1 || stats.Fetched != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestCrawlIgnoreRobots(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "User-agent: *\nDisallow: /\n")
+	})
+	var hits atomic.Int64
+	mux.HandleFunc("/page", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 1, IgnoreRobots: true})
+	if _, err := c.Run(context.Background(), []string{"/page"}, func(resp *Response, enqueue func(string)) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("IgnoreRobots did not bypass robots.txt")
+	}
+}
+
+func TestCrawlDelayAppliesRateCap(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/robots.txt", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "User-agent: *\nCrawl-delay: 0.05\n") // 20 rps cap
+	})
+	var n atomic.Int64
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%d", n.Add(1))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 4}) // no explicit rate
+	start := time.Now()
+	_, err := c.Run(context.Background(), []string{"/p0"}, func(resp *Response, enqueue func(string)) error {
+		if v := n.Load(); v < 5 {
+			enqueue(fmt.Sprintf("/p%d", v))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5 pages at 20 rps ≈ 250ms minimum.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("crawl finished in %v; Crawl-delay not applied", elapsed)
+	}
+}
+
+func TestMissingRobotsAllowsAll(t *testing.T) {
+	// No /robots.txt handler: 404 → allow everything.
+	ts := httptest.NewServer(chainSite(2))
+	defer ts.Close()
+	c := New(ts.URL, Config{Workers: 1})
+	stats, err := c.Run(context.Background(), []string{"/page/0"}, func(resp *Response, enqueue func(string)) error {
+		enqueue("/page/1")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 2 || stats.RobotsExcluded != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,166 @@
+// Package dataset persists collected e-commerce records as streaming
+// JSONL (one item per line), the storage format CATS' data collector
+// writes and its feature extractor reads. Readers and writers stream,
+// so datasets larger than memory can be processed item by item.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ecom"
+)
+
+// Writer streams items to JSONL.
+type Writer struct {
+	w   *bufio.Writer
+	c   io.Closer
+	n   int
+	err error
+}
+
+// NewWriter wraps w. Close flushes but does not close w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Create opens path for writing, truncating any existing file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	wr := NewWriter(f)
+	wr.c = f
+	return wr, nil
+}
+
+// Write appends one item.
+func (w *Writer) Write(item *ecom.Item) error {
+	if w.err != nil {
+		return w.err
+	}
+	b, err := json.Marshal(item)
+	if err != nil {
+		w.err = fmt.Errorf("dataset: marshal item %s: %w", item.ID, err)
+		return w.err
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of items written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Close flushes buffered output and closes the underlying file when the
+// Writer owns one.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if w.c != nil {
+		if err := w.c.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
+
+// WriteAll writes a whole dataset to path.
+func WriteAll(path string, ds *ecom.Dataset) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	for i := range ds.Items {
+		if err := w.Write(&ds.Items[i]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Reader streams items from JSONL.
+type Reader struct {
+	s    *bufio.Scanner
+	c    io.Closer
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<24) // comments can make long lines
+	return &Reader{s: s}
+}
+
+// Open opens path for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	rd := NewReader(f)
+	rd.c = f
+	return rd, nil
+}
+
+// Next returns the next item, or io.EOF when exhausted.
+func (r *Reader) Next() (*ecom.Item, error) {
+	for r.s.Scan() {
+		r.line++
+		b := r.s.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var item ecom.Item
+		if err := json.Unmarshal(b, &item); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", r.line, err)
+		}
+		return &item, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// Close closes the underlying file when the Reader owns one.
+func (r *Reader) Close() error {
+	if r.c != nil {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// ReadAll loads a whole dataset from path.
+func ReadAll(path string) (*ecom.Dataset, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	ds := &ecom.Dataset{Name: path}
+	for {
+		item, err := r.Next()
+		if err == io.EOF {
+			return ds, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ds.Items = append(ds.Items, *item)
+	}
+}

@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ecom"
+	"repro/internal/synth"
+)
+
+func sample() *ecom.Dataset {
+	u := synth.Generate(synth.Config{
+		Name: "sample", Seed: 2, FraudEvidence: 5, Normal: 10, Shops: 2,
+	})
+	return &u.Dataset
+}
+
+func TestRoundTripFile(t *testing.T) {
+	ds := sample()
+	path := filepath.Join(t.TempDir(), "items.jsonl")
+	if err := WriteAll(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items) != len(ds.Items) {
+		t.Fatalf("read %d items, want %d", len(back.Items), len(ds.Items))
+	}
+	for i := range ds.Items {
+		a, b := &ds.Items[i], &back.Items[i]
+		if a.ID != b.ID || a.Label != b.Label || len(a.Comments) != len(b.Comments) {
+			t.Fatalf("item %d corrupted: %+v vs %+v", i, a.ID, b.ID)
+		}
+		if len(a.Comments) > 0 && a.Comments[0].Content != b.Comments[0].Content {
+			t.Fatalf("comment content corrupted at item %d", i)
+		}
+	}
+}
+
+func TestStreamingWriterReader(t *testing.T) {
+	ds := sample()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range ds.Items {
+		if err := w.Write(&ds.Items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != len(ds.Items) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	n := 0
+	for {
+		_, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(ds.Items) {
+		t.Fatalf("streamed %d items, want %d", n, len(ds.Items))
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	input := `{"item_id":"a"}` + "\n\n" + `{"item_id":"b"}` + "\n"
+	r := NewReader(strings.NewReader(input))
+	a, err := r.Next()
+	if err != nil || a.ID != "a" {
+		t.Fatalf("first item: %v %v", a, err)
+	}
+	b, err := r.Next()
+	if err != nil || b.ID != "b" {
+		t.Fatalf("second item: %v %v", b, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderBadJSON(t *testing.T) {
+	r := NewReader(strings.NewReader("{not json}\n"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("corrupt line should error")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("Open(missing) should error")
+	}
+}
+
+func TestCreateOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.jsonl")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds := &ecom.Dataset{Items: []ecom.Item{{ID: "only"}}}
+	if err := WriteAll(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items) != 1 || back.Items[0].ID != "only" {
+		t.Fatalf("overwrite failed: %+v", back.Items)
+	}
+}
+
+func TestLongLine(t *testing.T) {
+	// A single item with a very long comment must survive the scanner
+	// buffer configuration.
+	long := strings.Repeat("好评很好", 50000) // ~600 KB of UTF-8
+	ds := &ecom.Dataset{Items: []ecom.Item{{
+		ID:       "big",
+		Comments: []ecom.Comment{{ID: "c", Content: long}},
+	}}}
+	path := filepath.Join(t.TempDir(), "big.jsonl")
+	if err := WriteAll(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Items[0].Comments[0].Content != long {
+		t.Fatal("long comment corrupted")
+	}
+}
+
+func TestWriterErrorSticky(t *testing.T) {
+	// After a write failure the Writer latches the error and refuses
+	// further writes.
+	w := NewWriter(failWriter{})
+	item := &ecom.Item{ID: "x"}
+	// Buffer absorbs the first writes; force a flush through Close.
+	for i := 0; i < 10000; i++ {
+		if err := w.Write(item); err != nil {
+			break
+		}
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close should surface the underlying write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestCreateBadPath(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl")); err == nil {
+		t.Fatal("Create into missing directory should error")
+	}
+}
+
+func TestReadAllMissing(t *testing.T) {
+	if _, err := ReadAll(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("ReadAll(missing) should error")
+	}
+}
+
+func TestWriteAllPropagatesWriteError(t *testing.T) {
+	// WriteAll to a directory path fails at Create.
+	dir := t.TempDir()
+	ds := &ecom.Dataset{Items: []ecom.Item{{ID: "a"}}}
+	if err := WriteAll(dir, ds); err == nil {
+		t.Fatal("WriteAll to a directory should error")
+	}
+}

@@ -1,0 +1,33 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks that arbitrary byte streams never panic the JSONL
+// reader: every line either decodes to an item or yields an error, and
+// iteration always terminates.
+func FuzzReader(f *testing.F) {
+	f.Add(`{"item_id":"a"}`)
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add(`{"item_id":"a","comments":[{"comment_id":"c"}]}` + "\n{bad")
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, s string) {
+		r := NewReader(strings.NewReader(s))
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // decode errors are fine; panics are not
+			}
+		}
+		t.Fatal("reader did not terminate")
+	})
+}

@@ -1,0 +1,129 @@
+package ecom
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestLabelIsFraud(t *testing.T) {
+	if Normal.IsFraud() {
+		t.Error("Normal.IsFraud() = true")
+	}
+	if !FraudEvidence.IsFraud() || !FraudManual.IsFraud() {
+		t.Error("fraud labels not recognized")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	cases := map[Label]string{
+		Normal:        "normal",
+		FraudEvidence: "fraud/evidence",
+		FraudManual:   "fraud/manual",
+		Label(9):      "label(9)",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestClientString(t *testing.T) {
+	want := map[Client]string{
+		ClientWeb: "Web", ClientAndroid: "Android",
+		ClientIPhone: "iPhone", ClientWechat: "Wechat",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Client %d = %q, want %q", c, c.String(), s)
+		}
+	}
+	if NumClients != 4 {
+		t.Errorf("NumClients = %d", NumClients)
+	}
+}
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		Name: "test",
+		Items: []Item{
+			{ID: "a", Label: FraudEvidence, Comments: make([]Comment, 3)},
+			{ID: "b", Label: FraudManual, Comments: make([]Comment, 2)},
+			{ID: "c", Label: Normal, Comments: make([]Comment, 5)},
+			{ID: "d", Label: Normal},
+		},
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	s := sampleDataset().Stats()
+	if s.FraudItems != 2 || s.EvidenceFraud != 1 || s.ManualFraud != 1 {
+		t.Fatalf("fraud counts wrong: %+v", s)
+	}
+	if s.NormalItems != 2 || s.Comments != 10 {
+		t.Fatalf("normal/comment counts wrong: %+v", s)
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	ds := sampleDataset()
+	fraud, normal := ds.Split()
+	if len(fraud) != 2 || len(normal) != 2 {
+		t.Fatalf("Split sizes = %d/%d", len(fraud), len(normal))
+	}
+	// Returned pointers alias the dataset.
+	fraud[0].Name = "renamed"
+	if ds.Items[0].Name != "renamed" {
+		t.Error("Split should alias dataset items")
+	}
+}
+
+func TestCommentTexts(t *testing.T) {
+	ds := &Dataset{Items: []Item{
+		{Comments: []Comment{{Content: "x"}, {Content: "y"}}},
+		{Comments: []Comment{{Content: "z"}}},
+	}}
+	got := ds.CommentTexts()
+	if len(got) != 3 || got[0] != "x" || got[2] != "z" {
+		t.Fatalf("CommentTexts = %v", got)
+	}
+}
+
+func TestCommentJSONFields(t *testing.T) {
+	// The JSON field names must match the paper's Listing 2 record.
+	c := Comment{
+		ID: "40805023517", ItemID: "545470505476",
+		Content: "这个商品很好", Nick: "0***莉", ExpVal: 100,
+		Client: ClientAndroid, Date: time.Date(2017, 9, 10, 12, 10, 0, 0, time.UTC),
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"item_id", "comment_id", "comment_content", "nickname", "userExpValue", "client_information", "date"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON missing field %q", key)
+		}
+	}
+}
+
+func TestItemJSONRoundTrip(t *testing.T) {
+	it := Item{ID: "i1", ShopID: "s1", Name: "n", PriceCents: 123, SalesVolume: 5, Label: FraudEvidence,
+		Comments: []Comment{{ID: "c1", ItemID: "i1", Content: "好"}}}
+	b, err := json.Marshal(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Item
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != it.ID || back.Label != it.Label || len(back.Comments) != 1 || back.Comments[0].Content != "好" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ecom"
+	"repro/internal/lexicon"
+	"repro/internal/ml"
+	"repro/internal/ml/eval"
+	"repro/internal/synth"
+	"repro/internal/word2vec"
+)
+
+// Table1Result is the lexicon-expansion experiment (Table I): a
+// word2vec model is trained on a comment corpus and the positive and
+// negative sets are grown from a handful of seeds by iterative k-NN.
+type Table1Result struct {
+	Positive []string
+	Negative []string
+	// Recovery metrics against the generator's ground-truth lexicons.
+	PositivePrecision, PositiveRecall float64
+	NegativePrecision, NegativeRecall float64
+	// HomographsFound lists discovered filter-evading variants (the
+	// paper highlights 好坪/好平 being found automatically).
+	HomographsFound []string
+	VocabSize       int
+}
+
+// Table1 runs the lexicon construction experiment.
+func (l *Lab) Table1() (*Table1Result, error) {
+	corpus := synth.TrainingCorpus(l.cfg.CorpusComments, 4201+l.cfg.Seed)
+	seg := l.Segmenter()
+	sentences := make([][]string, len(corpus))
+	for i, c := range corpus {
+		sentences[i] = seg.Words(c)
+	}
+	model, err := word2vec.Train(sentences, word2vec.Config{Dim: 32, Epochs: 3, MinCount: 3, Seed: 5})
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	lexCfg := lexicon.Config{K: 12, MaxSize: 200, MinSim: 0.4}
+	pos, err := lexicon.Expand(model, core.DefaultPositiveSeeds, lexCfg)
+	if err != nil {
+		return nil, fmt.Errorf("table1: positive: %w", err)
+	}
+	neg, err := lexicon.Expand(model, core.DefaultNegativeSeeds, lexCfg)
+	if err != nil {
+		return nil, fmt.Errorf("table1: negative: %w", err)
+	}
+
+	bank := l.Bank()
+	res := &Table1Result{Positive: pos, Negative: neg, VocabSize: model.VocabSize()}
+	var posHits int
+	for _, w := range pos {
+		if bank.IsPositive(w) {
+			posHits++
+		}
+	}
+	var negHits int
+	for _, w := range neg {
+		if bank.IsNegative(w) {
+			negHits++
+		}
+	}
+	res.PositivePrecision = float64(posHits) / float64(len(pos))
+	res.NegativePrecision = float64(negHits) / float64(len(neg))
+	// Recall against the portion of ground truth present in the model
+	// vocabulary (rare bank words never reach MinCount).
+	var posInVocab, negInVocab int
+	for _, w := range bank.Positive {
+		if model.Contains(w) {
+			posInVocab++
+		}
+	}
+	for _, w := range bank.Negative {
+		if model.Contains(w) {
+			negInVocab++
+		}
+	}
+	if posInVocab > 0 {
+		res.PositiveRecall = float64(posHits) / float64(posInVocab)
+	}
+	if negInVocab > 0 {
+		res.NegativeRecall = float64(negHits) / float64(negInVocab)
+	}
+	variants := map[string]bool{}
+	for _, vars := range bank.Homographs {
+		for _, v := range vars {
+			variants[v] = true
+		}
+	}
+	for _, w := range pos {
+		if variants[w] {
+			res.HomographsFound = append(res.HomographsFound, w)
+		}
+	}
+	return res, nil
+}
+
+// String prints the Table I reproduction.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — positive/negative sets via word2vec k-NN expansion\n")
+	fmt.Fprintf(&b, "  vocab=%d  |P|=%d (precision %.2f, recall %.2f)  |N|=%d (precision %.2f, recall %.2f)\n",
+		r.VocabSize, len(r.Positive), r.PositivePrecision, r.PositiveRecall,
+		len(r.Negative), r.NegativePrecision, r.NegativeRecall)
+	fmt.Fprintf(&b, "  positive sample: %s\n", strings.Join(head(r.Positive, 10), " "))
+	fmt.Fprintf(&b, "  negative sample: %s\n", strings.Join(head(r.Negative, 10), " "))
+	fmt.Fprintf(&b, "  homograph variants discovered: %s\n", strings.Join(r.HomographsFound, " "))
+	return b.String()
+}
+
+func head(xs []string, n int) []string {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}
+
+// Table3Row is one classifier's five-fold cross-validation result.
+type Table3Row struct {
+	Classifier core.ClassifierKind
+	Metrics    eval.Metrics
+}
+
+// Table3Result compares the six candidate classifiers under five-fold
+// cross validation on a balanced ground-truth sample, as Table III.
+type Table3Result struct {
+	Rows       []Table3Row
+	SampleSize int
+}
+
+// Table3 runs the classifier comparison. The paper uses a 5,000+5,000
+// ground-truth set from Taobao; the lab draws a balanced sample of the
+// same shape from a dedicated universe.
+func (l *Lab) Table3() (*Table3Result, error) {
+	n := l.cfg.SampleItems
+	u := synth.Generate(synth.Config{
+		Name: "table3", Platform: "taobao", Seed: 4301 + l.cfg.Seed,
+		FraudEvidence: n, Normal: n, Shops: 1 + n/50,
+	})
+	det, err := l.detectorForFeatures()
+	if err != nil {
+		return nil, err
+	}
+	mlds := det.BuildMLDataset(u.Dataset.Items, l.cfg.Workers)
+	res := &Table3Result{SampleSize: 2 * n}
+	for _, kind := range core.Kinds {
+		kind := kind
+		rng := rand.New(rand.NewSource(77))
+		_, pooled, err := eval.CrossValidate(func() ml.Classifier {
+			clf, err := core.NewClassifier(kind)
+			if err != nil {
+				panic(err) // kinds are the fixed known set
+			}
+			return clf
+		}, mlds, 5, rng)
+		if err != nil {
+			return nil, fmt.Errorf("table3: %s: %w", kind, err)
+		}
+		res.Rows = append(res.Rows, Table3Row{Classifier: kind, Metrics: pooled})
+	}
+	return res, nil
+}
+
+// detectorForFeatures returns an untrained detector whose extractor is
+// backed by the lab analyzer (for feature extraction only).
+func (l *Lab) detectorForFeatures() (*core.Detector, error) {
+	a, err := l.Analyzer()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDetector(a, core.DetectorConfig{})
+}
+
+// String prints the Table III reproduction.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — classifier comparison, five-fold CV on %d labeled items\n", r.SampleSize)
+	fmt.Fprintf(&b, "  %-16s %-10s %-10s\n", "Classifier", "Precision", "Recall")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %-10.2f %-10.2f\n", row.Classifier, row.Metrics.Precision, row.Metrics.Recall)
+	}
+	return b.String()
+}
+
+// DatasetStatsResult reproduces Tables IV and V: labeled dataset
+// composition.
+type DatasetStatsResult struct {
+	Table string
+	Name  string
+	Stats ecom.Stats
+	Scale float64
+}
+
+// Table4 summarizes the scaled D0 (Table IV).
+func (l *Lab) Table4() *DatasetStatsResult {
+	return &DatasetStatsResult{Table: "IV", Name: "D0", Stats: l.D0().Dataset.Stats(), Scale: l.cfg.D0Scale}
+}
+
+// Table5 summarizes the scaled D1 (Table V).
+func (l *Lab) Table5() *DatasetStatsResult {
+	return &DatasetStatsResult{Table: "V", Name: "D1", Stats: l.D1().Dataset.Stats(), Scale: l.cfg.D1Scale}
+}
+
+// String prints the dataset statistics row.
+func (r *DatasetStatsResult) String() string {
+	return fmt.Sprintf(
+		"Table %s — %s (scale %g): #FI=%d (evidence %d, manual %d)  #NI=%d  #comments=%d\n",
+		r.Table, r.Name, r.Scale, r.Stats.FraudItems, r.Stats.EvidenceFraud,
+		r.Stats.ManualFraud, r.Stats.NormalItems, r.Stats.Comments)
+}
+
+// Table6Result is CATS' performance on D1 (Table VI): precision,
+// recall and F-score for the evidence-labeled fraud items and for the
+// overall fraud items.
+type Table6Result struct {
+	Evidence eval.Metrics
+	Overall  eval.Metrics
+	Filtered int // items removed by the stage-one rule filter
+	Total    int
+}
+
+// Table6 trains on D0 and evaluates on D1, grouping results the way
+// Table VI does.
+func (l *Lab) Table6() (*Table6Result, error) {
+	det, err := l.System()
+	if err != nil {
+		return nil, err
+	}
+	items := l.D1().Dataset.Items
+	dets, err := det.Detect(items, l.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table6Result{Total: len(items)}
+	var evid, overall eval.Confusion
+	for i, d := range dets {
+		if d.Filtered {
+			res.Filtered++
+		}
+		pred := 0
+		if d.IsFraud {
+			pred = 1
+		}
+		label := items[i].Label
+		truthOverall := 0
+		if label.IsFraud() {
+			truthOverall = 1
+		}
+		overall.Add(truthOverall, pred)
+		// Evidence-grouped view: manual-labeled fraud items are
+		// excluded entirely, matching the paper's separate row.
+		if label != ecom.FraudManual {
+			truthEvid := 0
+			if label == ecom.FraudEvidence {
+				truthEvid = 1
+			}
+			evid.Add(truthEvid, pred)
+		}
+	}
+	res.Evidence = eval.FromConfusion(evid)
+	res.Overall = eval.FromConfusion(overall)
+	return res, nil
+}
+
+// String prints the Table VI reproduction.
+func (r *Table6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI — CATS on D1 (%d items, %d rule-filtered)\n", r.Total, r.Filtered)
+	fmt.Fprintf(&b, "  %-44s P=%.2f R=%.2f F=%.2f\n", "fraud items labeled with sufficient evidences",
+		r.Evidence.Precision, r.Evidence.Recall, r.Evidence.F1)
+	fmt.Fprintf(&b, "  %-44s P=%.2f R=%.2f F=%.2f\n", "the overall fraud items",
+		r.Overall.Precision, r.Overall.Recall, r.Overall.F1)
+	return b.String()
+}

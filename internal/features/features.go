@@ -1,0 +1,242 @@
+// Package features computes the 11 platform-independent item features
+// of the paper's Table II from an item's comments, at three levels:
+//
+//   - word level: averagePositiveNumber, averagePositive/NegativeNumber,
+//     averageNgramNumber, averageNgramRatio — counting positive/negative
+//     lexicon hits and positive 2-grams per comment;
+//   - semantic level: averageSentiment — the mean sentiment score of the
+//     item's comments;
+//   - structure level: uniqueWordRatio, averageCommentEntropy,
+//     averageCommentLength, sumCommentLength, sumPunctuationNumber,
+//     averagePunctuationRatio — writing-style statistics (Figs 2–5).
+//
+// The Extractor is immutable after construction and safe for concurrent
+// use; ExtractDataset fans items out over a worker pool ("CATS' feature
+// extractor is implemented in a parallelized style").
+package features
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ecom"
+	"repro/internal/lexicon"
+	"repro/internal/sentiment"
+	"repro/internal/stats"
+	"repro/internal/tokenize"
+)
+
+// Count of features; indices below name the columns of a feature vector.
+const NumFeatures = 11
+
+// Feature vector column indices.
+const (
+	AveragePositiveNumber = iota
+	AveragePosNegNumber
+	UniqueWordRatio
+	AverageSentiment
+	AverageCommentEntropy
+	AverageCommentLength
+	SumCommentLength
+	SumPunctuationNumber
+	AveragePunctuationRatio
+	AverageNgramNumber
+	AverageNgramRatio
+)
+
+// Names lists feature names in column order, as used in Table II and
+// the Fig 7 importance plot.
+var Names = []string{
+	"averagePositiveNumber",
+	"averagePositive/NegativeNumber",
+	"uniqueWordRatio",
+	"averageSentiment",
+	"averageCommentEntropy",
+	"averageCommentLength",
+	"sumCommentLength",
+	"sumPunctuationNumber",
+	"averagePunctuationRatio",
+	"averageNgramNumber",
+	"averageNgramRatio",
+}
+
+// Extractor computes feature vectors for items.
+type Extractor struct {
+	seg  *tokenize.Segmenter
+	pos  *lexicon.Set
+	neg  *lexicon.Set
+	sent *sentiment.Model
+}
+
+// NewExtractor assembles an Extractor from the semantic analyzer's
+// outputs: the segmenter dictionary, the expanded positive and negative
+// lexicons, and the sentiment model.
+func NewExtractor(seg *tokenize.Segmenter, pos, neg *lexicon.Set, sent *sentiment.Model) *Extractor {
+	return &Extractor{seg: seg, pos: pos, neg: neg, sent: sent}
+}
+
+// PositiveSet returns the extractor's positive lexicon.
+func (e *Extractor) PositiveSet() *lexicon.Set { return e.pos }
+
+// NegativeSet returns the extractor's negative lexicon.
+func (e *Extractor) NegativeSet() *lexicon.Set { return e.neg }
+
+// Vector computes the 11-feature vector for one item. Items with no
+// comments get a zero vector (they are normally removed earlier by the
+// detector's rule filter).
+func (e *Extractor) Vector(item *ecom.Item) []float64 {
+	v := make([]float64, NumFeatures)
+	nc := len(item.Comments)
+	if nc == 0 {
+		return v
+	}
+
+	var (
+		posTotal      float64 // Σ_j |C_j ∩ P|
+		posNegDiff    float64 // Σ_j ‖|C_j∩P| − |C_j∩N|‖
+		ngramTotal    float64 // Σ_j Σ_t δ(2-gram ∈ G)
+		ngramRatioSum float64
+		sentSum       float64
+		entropySum    float64
+		lenSum        float64
+		punctSum      float64
+		punctRatioSum float64
+		wordTotal     int
+	)
+	uniq := map[string]struct{}{}
+
+	for i := range item.Comments {
+		content := item.Comments[i].Content
+		words := e.seg.Words(content)
+		runeLen := tokenize.RuneLen(content)
+		punct := tokenize.CountPunct(content)
+
+		var pc, ncnt, grams int
+		for wi, w := range words {
+			if e.pos.Contains(w) {
+				pc++
+			}
+			if e.neg.Contains(w) {
+				ncnt++
+			}
+			if wi+1 < len(words) && e.isPositiveGram(w, words[wi+1]) {
+				grams++
+			}
+			uniq[w] = struct{}{}
+		}
+		wordTotal += len(words)
+		posTotal += float64(pc)
+		posNegDiff += abs(float64(pc) - float64(ncnt))
+		ngramTotal += float64(grams)
+		if len(words) > 1 {
+			ngramRatioSum += float64(grams) / float64(len(words)-1)
+		}
+		sentSum += e.sent.Score(words)
+		entropySum += stats.EntropyOfWords(words)
+		lenSum += float64(runeLen)
+		punctSum += float64(punct)
+		if runeLen > 0 {
+			punctRatioSum += float64(punct) / float64(runeLen)
+		}
+	}
+
+	fn := float64(nc)
+	v[AveragePositiveNumber] = posTotal / fn
+	v[AveragePosNegNumber] = posNegDiff / fn
+	if wordTotal > 0 {
+		v[UniqueWordRatio] = float64(len(uniq)) / float64(wordTotal)
+	}
+	v[AverageSentiment] = sentSum / fn
+	v[AverageCommentEntropy] = entropySum / fn
+	v[AverageCommentLength] = lenSum / fn
+	v[SumCommentLength] = lenSum
+	v[SumPunctuationNumber] = punctSum
+	v[AveragePunctuationRatio] = punctRatioSum / fn
+	v[AverageNgramNumber] = ngramTotal / fn
+	v[AverageNgramRatio] = ngramRatioSum / fn
+	return v
+}
+
+// isPositiveGram reports whether (a, b) is a positive 2-gram: "at least
+// one word of Wi and Wj is from the positive set P".
+func (e *Extractor) isPositiveGram(a, b string) bool {
+	return e.pos.Contains(a) || e.pos.Contains(b)
+}
+
+// HasPositiveSignal reports whether the item contains at least one
+// positive word or positive 2-gram across its comments — the detector's
+// rule filter drops items with none.
+func (e *Extractor) HasPositiveSignal(item *ecom.Item) bool {
+	for i := range item.Comments {
+		words := e.seg.Words(item.Comments[i].Content)
+		for _, w := range words {
+			if e.pos.Contains(w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExtractDataset computes feature vectors for every item in parallel,
+// preserving item order. workers <= 0 uses GOMAXPROCS.
+func (e *Extractor) ExtractDataset(items []ecom.Item, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]float64, len(items))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = e.Vector(&items[i])
+			}
+		}()
+	}
+	for i := range items {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// CommentStructure holds the per-comment structural measurements behind
+// Figs 2–5; the experiments sample these across items to draw the
+// distribution figures.
+type CommentStructure struct {
+	PunctCount      int
+	Entropy         float64
+	RuneLength      int
+	UniqueWordRatio float64
+	Sentiment       float64
+}
+
+// CommentStructure measures one comment.
+func (e *Extractor) CommentStructure(content string) CommentStructure {
+	words := e.seg.Words(content)
+	cs := CommentStructure{
+		PunctCount: tokenize.CountPunct(content),
+		Entropy:    stats.EntropyOfWords(words),
+		RuneLength: tokenize.RuneLen(content),
+		Sentiment:  e.sent.Score(words),
+	}
+	if len(words) > 0 {
+		uniq := map[string]struct{}{}
+		for _, w := range words {
+			uniq[w] = struct{}{}
+		}
+		cs.UniqueWordRatio = float64(len(uniq)) / float64(len(words))
+	}
+	return cs
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

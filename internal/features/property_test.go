@@ -1,0 +1,87 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+
+	"repro/internal/ecom"
+)
+
+// TestVectorPropertiesArbitraryText checks that the extractor never
+// produces NaN, Inf, or negative values for any comment content — the
+// design matrix must stay valid no matter what a platform serves.
+func TestVectorPropertiesArbitraryText(t *testing.T) {
+	e := toyExtractor(t)
+	f := func(c1, c2 string, sales uint16) bool {
+		if !utf8.ValidString(c1) || !utf8.ValidString(c2) {
+			return true
+		}
+		it := &ecom.Item{
+			ID:          "p",
+			SalesVolume: int(sales),
+			Comments: []ecom.Comment{
+				{ID: "a", Content: c1},
+				{ID: "b", Content: c2},
+			},
+		}
+		v := e.Vector(it)
+		if len(v) != NumFeatures {
+			return false
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return false
+			}
+		}
+		// Ratio-type features are bounded by 1.
+		for _, idx := range []int{UniqueWordRatio, AverageSentiment, AveragePunctuationRatio, AverageNgramRatio} {
+			if v[idx] > 1+1e-9 {
+				return false
+			}
+		}
+		// Sum features dominate their averages.
+		if v[SumCommentLength]+1e-9 < v[AverageCommentLength] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorOrderInvariance: the 11 features are per-item aggregates,
+// so comment order must not matter.
+func TestVectorOrderInvariance(t *testing.T) {
+	e := toyExtractor(t)
+	a := item("很好满意", "太差", "质量物流很好")
+	b := item("质量物流很好", "很好满意", "太差")
+	va, vb := e.Vector(a), e.Vector(b)
+	for i := range va {
+		if math.Abs(va[i]-vb[i]) > 1e-12 {
+			t.Fatalf("feature %s depends on comment order: %v vs %v", Names[i], va[i], vb[i])
+		}
+	}
+}
+
+// TestVectorScalesWithDuplication: duplicating every comment doubles
+// the sum features and leaves the averages unchanged.
+func TestVectorScalesWithDuplication(t *testing.T) {
+	e := toyExtractor(t)
+	base := item("很好满意太差", "质量物流")
+	doubled := item("很好满意太差", "质量物流", "很好满意太差", "质量物流")
+	vb, vd := e.Vector(base), e.Vector(doubled)
+	if math.Abs(vd[SumCommentLength]-2*vb[SumCommentLength]) > 1e-9 {
+		t.Errorf("sumCommentLength: %v vs 2×%v", vd[SumCommentLength], vb[SumCommentLength])
+	}
+	if math.Abs(vd[SumPunctuationNumber]-2*vb[SumPunctuationNumber]) > 1e-9 {
+		t.Errorf("sumPunctuationNumber: %v vs 2×%v", vd[SumPunctuationNumber], vb[SumPunctuationNumber])
+	}
+	for _, idx := range []int{AveragePositiveNumber, AverageSentiment, AverageCommentLength, AverageCommentEntropy} {
+		if math.Abs(vd[idx]-vb[idx]) > 1e-9 {
+			t.Errorf("%s changed under duplication: %v vs %v", Names[idx], vd[idx], vb[idx])
+		}
+	}
+}

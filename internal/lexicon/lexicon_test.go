@@ -1,0 +1,140 @@
+package lexicon
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/word2vec"
+)
+
+// trainClusteredModel builds an embedding model over two disjoint
+// co-occurrence clusters so expansion from a seed should recover its
+// own cluster and avoid the other.
+func trainClusteredModel(t *testing.T, a, b []string) *word2vec.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var corpus [][]string
+	for i := 0; i < 800; i++ {
+		c := a
+		if i%2 == 1 {
+			c = b
+		}
+		sent := make([]string, 8)
+		for j := range sent {
+			sent[j] = c[rng.Intn(len(c))]
+		}
+		corpus = append(corpus, sent)
+	}
+	m, err := word2vec.Train(corpus, word2vec.Config{Dim: 16, Epochs: 5, MinCount: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+var (
+	posCluster = []string{"好评", "很好", "不错", "满意", "喜欢", "推荐", "好用", "实惠"}
+	negCluster = []string{"差评", "太差", "失望", "退货", "垃圾", "难用", "糟糕", "坑人"}
+)
+
+func TestExpandRecoversCluster(t *testing.T) {
+	m := trainClusteredModel(t, posCluster, negCluster)
+	got, err := Expand(m, []string{"好评"}, Config{K: 5, MaxSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := NewSet(got)
+	recovered := set.Overlap(posCluster)
+	if recovered < 6 {
+		t.Errorf("recovered %d/8 positive-cluster words: %v", recovered, got)
+	}
+	leaked := set.Overlap(negCluster)
+	if leaked > 1 {
+		t.Errorf("expansion leaked %d negative-cluster words: %v", leaked, got)
+	}
+}
+
+func TestExpandRespectsMaxSize(t *testing.T) {
+	m := trainClusteredModel(t, posCluster, negCluster)
+	got, err := Expand(m, []string{"好评"}, Config{K: 10, MaxSize: 3, MinSim: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 3 {
+		t.Fatalf("len = %d, want <= 3", len(got))
+	}
+}
+
+func TestExpandIncludesSeeds(t *testing.T) {
+	m := trainClusteredModel(t, posCluster, negCluster)
+	got, err := Expand(m, []string{"好评", "满意"}, Config{K: 2, MaxSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, w := range got {
+		found[w] = true
+	}
+	if !found["好评"] || !found["满意"] {
+		t.Fatalf("seeds missing from expansion: %v", got)
+	}
+}
+
+func TestExpandSkipsOOVSeeds(t *testing.T) {
+	m := trainClusteredModel(t, posCluster, negCluster)
+	got, err := Expand(m, []string{"不在词表", "好评"}, Config{K: 3, MaxSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got {
+		if w == "不在词表" {
+			t.Fatal("OOV seed leaked into lexicon")
+		}
+	}
+}
+
+func TestExpandAllSeedsOOV(t *testing.T) {
+	m := trainClusteredModel(t, posCluster, negCluster)
+	if _, err := Expand(m, []string{"不在词表"}, Config{}); !errors.Is(err, ErrNoSeeds) {
+		t.Fatalf("err = %v, want ErrNoSeeds", err)
+	}
+}
+
+func TestExpandSortedDeterministic(t *testing.T) {
+	m := trainClusteredModel(t, posCluster, negCluster)
+	a, err := Expand(m, []string{"好评"}, Config{K: 5, MaxSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(a) {
+		t.Error("expansion result not sorted")
+	}
+	b, _ := Expand(m, []string{"好评"}, Config{K: 5, MaxSize: 20})
+	if len(a) != len(b) {
+		t.Fatal("expansion not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("expansion not deterministic")
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet([]string{"b", "a", "a"})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains("a") || s.Contains("c") {
+		t.Fatal("Contains wrong")
+	}
+	ws := s.Words()
+	if len(ws) != 2 || ws[0] != "a" || ws[1] != "b" {
+		t.Fatalf("Words = %v", ws)
+	}
+	if s.Overlap([]string{"a", "c", "b"}) != 2 {
+		t.Fatal("Overlap wrong")
+	}
+}

@@ -1,0 +1,166 @@
+// Package adaboost implements discrete AdaBoost over decision stumps
+// (Freund & Schapire 1997), one of the Table III baseline classifiers.
+// Each round fits the single-feature threshold stump minimizing
+// weighted error, then reweights examples multiplicatively.
+package adaboost
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Config holds the AdaBoost hyperparameters.
+type Config struct {
+	// Rounds is the number of boosting rounds; <= 0 means 100.
+	Rounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	return c
+}
+
+type stump struct {
+	feature   int
+	threshold float64
+	polarity  float64 // +1: predict +1 when x > thr; -1: inverted
+	alpha     float64
+}
+
+// Classifier is a fitted AdaBoost ensemble of stumps.
+type Classifier struct {
+	cfg    Config
+	stumps []stump
+}
+
+// New returns an untrained AdaBoost classifier.
+func New(cfg Config) *Classifier { return &Classifier{cfg: cfg.withDefaults()} }
+
+// Fit trains the ensemble on ds.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	n := ds.Len()
+	y := make([]float64, n)
+	for i, v := range ds.Y {
+		y[i] = float64(2*v - 1)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	c.stumps = c.stumps[:0]
+	for round := 0; round < c.cfg.Rounds; round++ {
+		st, err := bestStump(ds, y, w)
+		if err > 0.4999 { // no better than chance; stop early
+			break
+		}
+		eps := math.Max(err, 1e-10)
+		st.alpha = 0.5 * math.Log((1-eps)/eps)
+		c.stumps = append(c.stumps, st)
+		// Reweight and renormalize.
+		var z float64
+		for i := 0; i < n; i++ {
+			w[i] *= math.Exp(-st.alpha * y[i] * stumpPredict(st, ds.X[i]))
+			z += w[i]
+		}
+		for i := range w {
+			w[i] /= z
+		}
+		if err < 1e-10 {
+			break // perfect stump; further rounds are redundant
+		}
+	}
+	return nil
+}
+
+// bestStump finds the weighted-error-minimizing threshold stump by a
+// sorted sweep per feature.
+func bestStump(ds *ml.Dataset, y, w []float64) (stump, float64) {
+	n := ds.Len()
+	best := stump{feature: 0, threshold: math.Inf(-1), polarity: 1}
+	bestErr := math.Inf(1)
+	type pair struct {
+		v, y, w float64
+	}
+	pairs := make([]pair, n)
+	for f := 0; f < ds.NumFeatures(); f++ {
+		for i := 0; i < n; i++ {
+			pairs[i] = pair{ds.X[i][f], y[i], w[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		// err(+1 polarity, thr=-inf): everything predicted +1 → error
+		// is the weight of negatives; sweeping the threshold right
+		// flips predictions to -1 one prefix at a time.
+		var errPlus float64
+		for i := 0; i < n; i++ {
+			if pairs[i].y < 0 {
+				errPlus += pairs[i].w
+			}
+		}
+		check := func(e, thr, pol float64) {
+			if e < bestErr {
+				bestErr = e
+				best = stump{feature: f, threshold: thr, polarity: pol}
+			}
+		}
+		check(errPlus, math.Inf(-1), 1)
+		check(1-errPlus, math.Inf(-1), -1)
+		for i := 0; i < n; i++ {
+			// Move example i to the "≤ thr" side (predicted -1 under
+			// +1 polarity).
+			if pairs[i].y > 0 {
+				errPlus += pairs[i].w
+			} else {
+				errPlus -= pairs[i].w
+			}
+			if i+1 < n && pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			thr := pairs[i].v
+			if i+1 < n {
+				thr = (pairs[i].v + pairs[i+1].v) / 2
+			}
+			check(errPlus, thr, 1)
+			check(1-errPlus, thr, -1)
+		}
+	}
+	return best, bestErr
+}
+
+func stumpPredict(s stump, x []float64) float64 {
+	if x[s.feature] > s.threshold {
+		return s.polarity
+	}
+	return -s.polarity
+}
+
+// Score returns the weighted ensemble margin in R.
+func (c *Classifier) Score(x []float64) float64 {
+	var s float64
+	for _, st := range c.stumps {
+		s += st.alpha * stumpPredict(st, x)
+	}
+	return s
+}
+
+// PredictProba squashes the ensemble margin through a logistic.
+func (c *Classifier) PredictProba(x []float64) float64 {
+	return 1 / (1 + math.Exp(-2*c.Score(x)))
+}
+
+// Predict returns 1 when the ensemble margin is non-negative.
+func (c *Classifier) Predict(x []float64) int {
+	if c.Score(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumStumps returns the number of fitted weak learners.
+func (c *Classifier) NumStumps() int { return len(c.stumps) }

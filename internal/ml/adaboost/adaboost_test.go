@@ -1,0 +1,77 @@
+package adaboost
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "adaboost", func() ml.Classifier {
+		return New(Config{Rounds: 60})
+	})
+}
+
+func TestXORFailsAsExpected(t *testing.T) {
+	// A sum of axis-aligned stumps is an additive model f(x)+g(y),
+	// which provably cannot represent XOR. Training should stall near
+	// chance (the early-stop guard) rather than loop or blow up.
+	ds := mltest.XOR(400, 1)
+	clf := New(Config{Rounds: 80})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(clf, ds); acc > 0.8 {
+		t.Fatalf("additive stump model reached %.3f on XOR; expected near-chance", acc)
+	}
+}
+
+func TestEarlyStopOnPerfectStump(t *testing.T) {
+	// Perfectly separable on one threshold: one stump suffices, and
+	// training must stop rather than divide by zero.
+	ds := &ml.Dataset{
+		X: [][]float64{{0}, {1}, {2}, {10}, {11}, {12}},
+		Y: []int{0, 0, 0, 1, 1, 1},
+	}
+	clf := New(Config{Rounds: 50})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if clf.NumStumps() != 1 {
+		t.Fatalf("NumStumps = %d, want 1 (early stop)", clf.NumStumps())
+	}
+	if acc := mltest.Accuracy(clf, ds); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1", acc)
+	}
+}
+
+func TestNoSignalStopsEarly(t *testing.T) {
+	// Constant features: every stump is at-chance, so boosting should
+	// terminate without using all rounds.
+	ds := &ml.Dataset{
+		X: [][]float64{{5}, {5}, {5}, {5}},
+		Y: []int{0, 1, 0, 1},
+	}
+	clf := New(Config{Rounds: 50})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if clf.NumStumps() > 1 {
+		t.Fatalf("NumStumps = %d on pure noise, want <= 1", clf.NumStumps())
+	}
+}
+
+func TestScoreSymmetry(t *testing.T) {
+	ds := mltest.Gaussians(300, 2, 3, 2)
+	clf := New(Config{Rounds: 40})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// PredictProba must be monotone in Score.
+	lo := clf.PredictProba([]float64{-2, -2})
+	hi := clf.PredictProba([]float64{5, 5})
+	if lo >= hi {
+		t.Fatalf("proba not ordered by score: lo=%v hi=%v", lo, hi)
+	}
+}

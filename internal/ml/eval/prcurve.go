@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// PRPoint is one operating point on a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes the precision-recall curve of a scored sample:
+// scores[i] is P(fraud) for an example with binary truth labels[i].
+// One point is emitted per distinct score, ordered by decreasing
+// threshold (increasing recall). An empty or positives-free input
+// returns nil.
+func PRCurve(scores []float64, labels []int) []PRPoint {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	pairs := make([]pair, len(scores))
+	totalPos := 0
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		totalPos += labels[i]
+	}
+	if totalPos == 0 {
+		return nil
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(pairs); {
+		thr := pairs[i].s
+		// Consume all examples tied at this score: a threshold can
+		// only sit between distinct scores.
+		for i < len(pairs) && pairs[i].s == thr {
+			if pairs[i].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, PRPoint{
+			Threshold: thr,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(totalPos),
+		})
+	}
+	return out
+}
+
+// AveragePrecision computes area under the precision-recall curve by
+// the step-wise interpolation used in information retrieval: the sum of
+// precision × recall-increment over curve points. Returns NaN for an
+// empty curve.
+func AveragePrecision(curve []PRPoint) float64 {
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	var ap, prevRecall float64
+	for _, p := range curve {
+		ap += p.Precision * (p.Recall - prevRecall)
+		prevRecall = p.Recall
+	}
+	return ap
+}
+
+// BestThreshold returns the curve point maximizing F1 (ties broken
+// toward higher precision). It returns false for an empty curve.
+func BestThreshold(curve []PRPoint) (PRPoint, bool) {
+	if len(curve) == 0 {
+		return PRPoint{}, false
+	}
+	best := curve[0]
+	bestF := f1(best)
+	for _, p := range curve[1:] {
+		f := f1(p)
+		if f > bestF || (f == bestF && p.Precision > best.Precision) {
+			best, bestF = p, f
+		}
+	}
+	return best, true
+}
+
+// ThresholdForPrecision returns the lowest threshold whose operating
+// point still reaches the target precision — the "report as much as
+// possible while staying precise" choice a third-party reporter makes
+// (the E-platform deployment). Returns false if no point reaches it.
+func ThresholdForPrecision(curve []PRPoint, target float64) (PRPoint, bool) {
+	var best PRPoint
+	found := false
+	for _, p := range curve {
+		if p.Precision >= target {
+			// Curve is ordered by decreasing threshold; the last
+			// qualifying point has the highest recall.
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+func f1(p PRPoint) float64 {
+	if p.Precision+p.Recall == 0 {
+		return 0
+	}
+	return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+}
+
+// ROCAUC computes the area under the ROC curve via the rank-based
+// Mann–Whitney statistic: the probability a random positive scores
+// above a random negative, with ties counted half. Returns NaN when
+// either class is empty.
+func ROCAUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return math.NaN()
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	pairs := make([]pair, len(scores))
+	var nPos, nNeg float64
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	// Sum of positive ranks with midranks for ties.
+	var rankSum float64
+	i := 0
+	for i < len(pairs) {
+		j := i
+		for j < len(pairs) && pairs[j].s == pairs[i].s {
+			j++
+		}
+		// Ranks i+1..j share the midrank.
+		mid := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			if pairs[k].y == 1 {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}
+
+// ScoreDataset scores every row of ds with clf and returns (scores,
+// labels) ready for PRCurve.
+func ScoreDataset(clf ml.Classifier, ds *ml.Dataset) (scores []float64, labels []int) {
+	scores = make([]float64, ds.Len())
+	for i, x := range ds.X {
+		scores[i] = clf.PredictProba(x)
+	}
+	return scores, ds.Y
+}
+
+// FormatCurve renders up to n evenly spaced curve points as a small
+// table for experiment output.
+func FormatCurve(curve []PRPoint, n int) string {
+	if len(curve) == 0 {
+		return "(empty curve)\n"
+	}
+	if n <= 0 || n > len(curve) {
+		n = len(curve)
+	}
+	out := fmt.Sprintf("%-10s %-10s %-10s\n", "threshold", "precision", "recall")
+	step := float64(len(curve)-1) / float64(maxInt(n-1, 1))
+	for k := 0; k < n; k++ {
+		p := curve[int(float64(k)*step+0.5)]
+		out += fmt.Sprintf("%-10.3f %-10.3f %-10.3f\n", p.Threshold, p.Precision, p.Recall)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/tree"
+)
+
+func TestPRCurveHandConstructed(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []int{1, 0, 1, 0}
+	curve := PRCurve(scores, labels)
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points, want 4", len(curve))
+	}
+	// At thr 0.9: tp=1 fp=0 → P=1, R=0.5.
+	if curve[0].Precision != 1 || curve[0].Recall != 0.5 {
+		t.Errorf("point 0 = %+v", curve[0])
+	}
+	// At thr 0.6: tp=2 fp=2 → P=0.5, R=1.
+	last := curve[3]
+	if last.Precision != 0.5 || last.Recall != 1 {
+		t.Errorf("last point = %+v", last)
+	}
+}
+
+func TestPRCurveTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1}
+	curve := PRCurve(scores, labels)
+	if len(curve) != 1 {
+		t.Fatalf("tied scores should give one point, got %d", len(curve))
+	}
+	if curve[0].Recall != 1 || math.Abs(curve[0].Precision-2.0/3) > 1e-12 {
+		t.Fatalf("point = %+v", curve[0])
+	}
+}
+
+func TestPRCurveDegenerate(t *testing.T) {
+	if PRCurve(nil, nil) != nil {
+		t.Error("empty input should return nil")
+	}
+	if PRCurve([]float64{0.5}, []int{0}) != nil {
+		t.Error("no positives should return nil")
+	}
+	if PRCurve([]float64{0.5}, []int{0, 1}) != nil {
+		t.Error("length mismatch should return nil")
+	}
+}
+
+func TestAveragePrecisionPerfectRanking(t *testing.T) {
+	// All positives ranked above all negatives → AP = 1.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	ap := AveragePrecision(PRCurve(scores, labels))
+	if math.Abs(ap-1) > 1e-12 {
+		t.Fatalf("AP = %v, want 1", ap)
+	}
+	if !math.IsNaN(AveragePrecision(nil)) {
+		t.Error("AP of empty curve should be NaN")
+	}
+}
+
+func TestBestThreshold(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []int{1, 1, 0, 0}
+	best, ok := BestThreshold(PRCurve(scores, labels))
+	if !ok {
+		t.Fatal("no best threshold")
+	}
+	if best.Precision != 1 || best.Recall != 1 {
+		t.Fatalf("best = %+v, want perfect point", best)
+	}
+	if _, ok := BestThreshold(nil); ok {
+		t.Error("empty curve should report no best")
+	}
+}
+
+func TestThresholdForPrecision(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	labels := []int{1, 1, 0, 1, 0}
+	curve := PRCurve(scores, labels)
+	// Precision 1.0 reachable only at thr >= 0.8 (recall 2/3).
+	p, ok := ThresholdForPrecision(curve, 1.0)
+	if !ok || p.Threshold != 0.8 {
+		t.Fatalf("point = %+v ok=%v, want thr 0.8", p, ok)
+	}
+	// Among qualifying points the highest-recall one is returned.
+	p2, ok := ThresholdForPrecision(curve, 0.7)
+	if !ok || p2.Recall != 1 {
+		t.Fatalf("point = %+v, want full recall at target 0.7", p2)
+	}
+	if _, ok := ThresholdForPrecision(curve, 1.01); ok {
+		t.Error("unreachable target should report false")
+	}
+}
+
+func TestScoreDatasetAndCurveEndToEnd(t *testing.T) {
+	ds := mltest.Gaussians(600, 3, 3, 9)
+	clf := tree.New(tree.Config{MaxDepth: 5})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	scores, labels := ScoreDataset(clf, ds)
+	curve := PRCurve(scores, labels)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	if ap := AveragePrecision(curve); ap < 0.95 {
+		t.Fatalf("AP = %.3f on separable data", ap)
+	}
+	if FormatCurve(curve, 5) == "" {
+		t.Error("FormatCurve empty")
+	}
+}
+
+// Properties: recall is non-decreasing along the curve; precision and
+// recall stay in [0, 1]; AP is in [0, 1].
+func TestPRCurveMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, labelBits []bool) bool {
+		n := len(raw)
+		if len(labelBits) < n {
+			n = len(labelBits)
+		}
+		if n == 0 {
+			return true
+		}
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		hasPos := false
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0.5
+			}
+			scores[i] = v
+			if labelBits[i] {
+				labels[i] = 1
+				hasPos = true
+			}
+		}
+		if !hasPos {
+			return PRCurve(scores, labels) == nil
+		}
+		curve := PRCurve(scores, labels)
+		prev := -1.0
+		for _, p := range curve {
+			if p.Recall < prev-1e-12 {
+				return false
+			}
+			prev = p.Recall
+			if p.Precision < 0 || p.Precision > 1 || p.Recall < 0 || p.Recall > 1 {
+				return false
+			}
+		}
+		ap := AveragePrecision(curve)
+		return ap >= -1e-12 && ap <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCAUC(t *testing.T) {
+	// Perfect ranking → 1; inverted → 0; ties → 0.5.
+	if auc := ROCAUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{1, 1, 0, 0}); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+	if auc := ROCAUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{1, 1, 0, 0}); math.Abs(auc) > 1e-12 {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+	if auc := ROCAUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{1, 1, 0, 0}); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("all-ties AUC = %v", auc)
+	}
+	if !math.IsNaN(ROCAUC([]float64{0.5}, []int{1})) {
+		t.Error("single-class AUC should be NaN")
+	}
+	if !math.IsNaN(ROCAUC(nil, nil)) {
+		t.Error("empty AUC should be NaN")
+	}
+}
+
+// Property: AUC stays in [0,1] and is invariant under any strictly
+// monotone transform of the scores (it is rank-based).
+func TestROCAUCRankInvarianceProperty(t *testing.T) {
+	f := func(raw []float64, bits []bool) bool {
+		n := len(raw)
+		if len(bits) < n {
+			n = len(bits)
+		}
+		if n < 2 {
+			return true
+		}
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		hasPos, hasNeg := false, false
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			// Clamp to keep the monotone transform below overflow-free.
+			if v > 100 {
+				v = 100
+			}
+			if v < -100 {
+				v = -100
+			}
+			scores[i] = v
+			if bits[i] {
+				labels[i] = 1
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		auc := ROCAUC(scores, labels)
+		if auc < -1e-12 || auc > 1+1e-12 {
+			return false
+		}
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(s/50) + 3 // strictly increasing
+		}
+		return math.Abs(ROCAUC(transformed, labels)-auc) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

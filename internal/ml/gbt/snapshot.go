@@ -1,0 +1,115 @@
+package gbt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot is the JSON-serializable form of a fitted model, for saving
+// a trained detector to disk and shipping it to other deployments (the
+// paper pre-trains on D0 once and reuses the model across platforms).
+type Snapshot struct {
+	Config     Config      `json:"config"`
+	BaseScore  float64     `json:"base_score"`
+	SplitCount []int       `json:"split_count"`
+	Names      []string    `json:"feature_names,omitempty"`
+	Trees      [][]NodeDTO `json:"trees"`
+}
+
+// NodeDTO is one flattened tree node. Children are indices into the
+// same tree's node slice; -1 marks "no child" (leaves).
+type NodeDTO struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Leaf      bool    `json:"leaf"`
+	Weight    float64 `json:"w"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+}
+
+// Snapshot captures the fitted model. It returns ErrNotFitted before
+// Fit.
+func (c *Classifier) Snapshot() (*Snapshot, error) {
+	if c.trees == nil {
+		return nil, ErrNotFitted
+	}
+	s := &Snapshot{
+		Config:     c.cfg,
+		BaseScore:  c.baseScore,
+		SplitCount: append([]int(nil), c.splitCount...),
+		Names:      append([]string(nil), c.names...),
+	}
+	for _, t := range c.trees {
+		var flat []NodeDTO
+		flatten(t, &flat)
+		s.Trees = append(s.Trees, flat)
+	}
+	return s, nil
+}
+
+// flatten appends n's subtree to out in pre-order and returns n's index.
+func flatten(n *node, out *[]NodeDTO) int {
+	idx := len(*out)
+	*out = append(*out, NodeDTO{
+		Feature: n.feature, Threshold: n.threshold,
+		Leaf: n.leaf, Weight: n.weight, Left: -1, Right: -1,
+	})
+	if !n.leaf {
+		(*out)[idx].Left = flatten(n.left, out)
+		(*out)[idx].Right = flatten(n.right, out)
+	}
+	return idx
+}
+
+// FromSnapshot reconstructs a fitted classifier. The snapshot is
+// validated structurally; malformed trees return an error rather than
+// a model that panics at prediction time.
+func FromSnapshot(s *Snapshot) (*Classifier, error) {
+	if s == nil {
+		return nil, errors.New("gbt: nil snapshot")
+	}
+	c := &Classifier{
+		cfg:        s.Config.withDefaults(),
+		baseScore:  s.BaseScore,
+		splitCount: append([]int(nil), s.SplitCount...),
+		names:      append([]string(nil), s.Names...),
+		trees:      make([]*node, 0, len(s.Trees)),
+	}
+	for ti, flat := range s.Trees {
+		if len(flat) == 0 {
+			return nil, fmt.Errorf("gbt: tree %d is empty", ti)
+		}
+		root, err := unflatten(flat, 0, map[int]bool{})
+		if err != nil {
+			return nil, fmt.Errorf("gbt: tree %d: %w", ti, err)
+		}
+		c.trees = append(c.trees, root)
+	}
+	return c, nil
+}
+
+func unflatten(flat []NodeDTO, idx int, seen map[int]bool) (*node, error) {
+	if idx < 0 || idx >= len(flat) {
+		return nil, fmt.Errorf("node index %d out of range", idx)
+	}
+	if seen[idx] {
+		return nil, fmt.Errorf("node index %d revisited (cycle)", idx)
+	}
+	seen[idx] = true
+	d := flat[idx]
+	n := &node{feature: d.Feature, threshold: d.Threshold, leaf: d.Leaf, weight: d.Weight}
+	if n.leaf {
+		return n, nil
+	}
+	if d.Feature < 0 {
+		return nil, fmt.Errorf("node %d: negative split feature", idx)
+	}
+	var err error
+	if n.left, err = unflatten(flat, d.Left, seen); err != nil {
+		return nil, err
+	}
+	if n.right, err = unflatten(flat, d.Right, seen); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,76 @@
+package gbt
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/ml/mltest"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ds := mltest.Gaussians(400, 4, 2, 21)
+	ds.FeatureNames = []string{"a", "b", "c", "d"}
+	clf := New(Config{Rounds: 30, MaxDepth: 4, Seed: 2})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := clf.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSON round trip, as persistence does.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	clf2, err := FromSnapshot(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X {
+		if clf.PredictProba(x) != clf2.PredictProba(x) {
+			t.Fatal("restored model disagrees with original")
+		}
+	}
+	imp1, _ := clf.FeatureImportance()
+	imp2, _ := clf2.FeatureImportance()
+	for i := range imp1 {
+		if imp1[i] != imp2[i] {
+			t.Fatal("importance changed across round trip")
+		}
+	}
+}
+
+func TestSnapshotBeforeFit(t *testing.T) {
+	if _, err := New(Config{}).Snapshot(); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	if _, err := FromSnapshot(nil); err == nil {
+		t.Error("nil snapshot should error")
+	}
+	if _, err := FromSnapshot(&Snapshot{Trees: [][]NodeDTO{{}}}); err == nil {
+		t.Error("empty tree should error")
+	}
+	// Out-of-range child index.
+	bad := &Snapshot{Trees: [][]NodeDTO{{
+		{Feature: 0, Threshold: 1, Leaf: false, Left: 5, Right: 6},
+	}}}
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("dangling child index should error")
+	}
+	// Cycle.
+	cyc := &Snapshot{Trees: [][]NodeDTO{{
+		{Feature: 0, Threshold: 1, Leaf: false, Left: 0, Right: 0},
+	}}}
+	if _, err := FromSnapshot(cyc); err == nil {
+		t.Error("cyclic tree should error")
+	}
+}

@@ -1,0 +1,175 @@
+// Package mlp implements a single-hidden-layer feed-forward neural
+// network trained with mini-batch SGD and backpropagation, one of the
+// Table III baseline classifiers ("Neural Network"). Inputs are
+// standardized internally; the output unit is a logistic neuron trained
+// on cross-entropy loss.
+package mlp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ml"
+)
+
+// Config holds the network hyperparameters. The zero value is usable.
+type Config struct {
+	// Hidden is the hidden-layer width; <= 0 means 16.
+	Hidden int
+	// Epochs is the number of passes over the data; <= 0 means 30.
+	Epochs int
+	// LearningRate is the SGD step; <= 0 means 0.05.
+	LearningRate float64
+	// BatchSize is the mini-batch size; <= 0 means 32.
+	BatchSize int
+	// L2 is the weight decay coefficient.
+	L2 float64
+	// Seed seeds weight init and shuffling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// Classifier is a fitted network: x → tanh(W1·x+b1) → σ(w2·h+b2).
+type Classifier struct {
+	cfg   Config
+	w1    [][]float64 // [hidden][in]
+	b1    []float64
+	w2    []float64 // [hidden]
+	b2    float64
+	scale *ml.Standardizer
+}
+
+// New returns an untrained network.
+func New(cfg Config) *Classifier { return &Classifier{cfg: cfg.withDefaults()} }
+
+// Fit trains the network on ds with mini-batch SGD.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	c.scale = ml.FitStandardizer(ds.X)
+	X := c.scale.TransformAll(ds.X)
+	n, in, h := len(X), len(X[0]), c.cfg.Hidden
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+
+	// Xavier-style init.
+	lim1 := math.Sqrt(6 / float64(in+h))
+	c.w1 = make([][]float64, h)
+	for i := range c.w1 {
+		c.w1[i] = make([]float64, in)
+		for j := range c.w1[i] {
+			c.w1[i][j] = (rng.Float64()*2 - 1) * lim1
+		}
+	}
+	c.b1 = make([]float64, h)
+	lim2 := math.Sqrt(6 / float64(h+1))
+	c.w2 = make([]float64, h)
+	for i := range c.w2 {
+		c.w2[i] = (rng.Float64()*2 - 1) * lim2
+	}
+	c.b2 = 0
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	hid := make([]float64, h)
+	gw1 := make([][]float64, h)
+	for i := range gw1 {
+		gw1[i] = make([]float64, in)
+	}
+	gb1 := make([]float64, h)
+	gw2 := make([]float64, h)
+
+	for epoch := 0; epoch < c.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += c.cfg.BatchSize {
+			end := start + c.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := float64(end - start)
+			for i := range gw1 {
+				for j := range gw1[i] {
+					gw1[i][j] = 0
+				}
+				gb1[i] = 0
+				gw2[i] = 0
+			}
+			var gb2 float64
+			for _, idx := range order[start:end] {
+				x := X[idx]
+				y := float64(ds.Y[idx])
+				// Forward.
+				for i := 0; i < h; i++ {
+					z := c.b1[i]
+					for j := 0; j < in; j++ {
+						z += c.w1[i][j] * x[j]
+					}
+					hid[i] = math.Tanh(z)
+				}
+				z2 := c.b2
+				for i := 0; i < h; i++ {
+					z2 += c.w2[i] * hid[i]
+				}
+				p := 1 / (1 + math.Exp(-z2))
+				// Backward: dL/dz2 = p - y for cross entropy.
+				d2 := p - y
+				gb2 += d2
+				for i := 0; i < h; i++ {
+					gw2[i] += d2 * hid[i]
+					d1 := d2 * c.w2[i] * (1 - hid[i]*hid[i])
+					gb1[i] += d1
+					for j := 0; j < in; j++ {
+						gw1[i][j] += d1 * x[j]
+					}
+				}
+			}
+			lr := c.cfg.LearningRate
+			for i := 0; i < h; i++ {
+				for j := 0; j < in; j++ {
+					c.w1[i][j] -= lr * (gw1[i][j]/bs + c.cfg.L2*c.w1[i][j])
+				}
+				c.b1[i] -= lr * gb1[i] / bs
+				c.w2[i] -= lr * (gw2[i]/bs + c.cfg.L2*c.w2[i])
+			}
+			c.b2 -= lr * gb2 / bs
+		}
+	}
+	return nil
+}
+
+// PredictProba returns P(fraud|x).
+func (c *Classifier) PredictProba(x []float64) float64 {
+	if c.w1 == nil {
+		return 0.5
+	}
+	xs := c.scale.Transform(x)
+	z2 := c.b2
+	for i := range c.w1 {
+		z := c.b1[i]
+		for j := range xs {
+			z += c.w1[i][j] * xs[j]
+		}
+		z2 += c.w2[i] * math.Tanh(z)
+	}
+	return 1 / (1 + math.Exp(-z2))
+}
+
+// Predict returns the hard label at threshold 0.5.
+func (c *Classifier) Predict(x []float64) int { return ml.Threshold(c.PredictProba(x)) }

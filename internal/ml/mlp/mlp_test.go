@@ -1,0 +1,73 @@
+package mlp
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "mlp", func() ml.Classifier {
+		return New(Config{Hidden: 8, Epochs: 40, LearningRate: 0.1, Seed: 1})
+	})
+}
+
+func TestLearnsXOR(t *testing.T) {
+	// One hidden layer of tanh units solves XOR — the classic
+	// demonstration that the network is genuinely non-linear.
+	ds := mltest.XOR(600, 1)
+	clf := New(Config{Hidden: 8, Epochs: 300, LearningRate: 0.3, Seed: 2})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(clf, ds); acc < 0.95 {
+		t.Fatalf("XOR accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestUnfittedProba(t *testing.T) {
+	clf := New(Config{})
+	if p := clf.PredictProba([]float64{1, 2}); p != 0.5 {
+		t.Fatalf("unfitted PredictProba = %v, want 0.5", p)
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	ds := mltest.Gaussians(300, 3, 2, 3)
+	free := New(Config{Hidden: 6, Epochs: 30, Seed: 4})
+	reg := New(Config{Hidden: 6, Epochs: 30, Seed: 4, L2: 0.5})
+	if err := free.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(c *Classifier) float64 {
+		var s float64
+		for _, row := range c.w1 {
+			for _, v := range row {
+				s += v * v
+			}
+		}
+		for _, v := range c.w2 {
+			s += v * v
+		}
+		return s
+	}
+	if norm(reg) >= norm(free) {
+		t.Fatalf("L2-regularized weights (%v) not smaller than free (%v)", norm(reg), norm(free))
+	}
+}
+
+func TestBatchBoundary(t *testing.T) {
+	// Dataset size not divisible by batch size must still train.
+	ds := mltest.Gaussians(101, 2, 3, 5)
+	clf := New(Config{Hidden: 4, Epochs: 20, BatchSize: 32, Seed: 6})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(clf, ds); acc < 0.9 {
+		t.Fatalf("accuracy %.3f with ragged final batch", acc)
+	}
+}

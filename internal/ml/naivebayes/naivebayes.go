@@ -1,0 +1,103 @@
+// Package naivebayes implements Gaussian Naive Bayes over continuous
+// features, one of the Table III baseline classifiers. Each feature is
+// modeled as an independent Gaussian per class; prediction applies
+// Bayes' rule in log space.
+package naivebayes
+
+import (
+	"math"
+
+	"repro/internal/ml"
+)
+
+// Classifier is a fitted Gaussian Naive Bayes model.
+type Classifier struct {
+	prior  [2]float64   // log priors
+	mean   [2][]float64 // per class, per feature
+	vari   [2][]float64 // per class, per feature (variance, floored)
+	fitted bool
+}
+
+// New returns an untrained Gaussian NB classifier.
+func New() *Classifier { return &Classifier{} }
+
+// varFloor keeps degenerate (constant) features from producing
+// zero-variance Gaussians.
+const varFloor = 1e-9
+
+// Fit estimates class priors and per-class feature Gaussians.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	nf := ds.NumFeatures()
+	var count [2]int
+	for cls := 0; cls < 2; cls++ {
+		c.mean[cls] = make([]float64, nf)
+		c.vari[cls] = make([]float64, nf)
+	}
+	for i, row := range ds.X {
+		cls := ds.Y[i]
+		count[cls]++
+		for j, v := range row {
+			c.mean[cls][j] += v
+		}
+	}
+	n := float64(ds.Len())
+	for cls := 0; cls < 2; cls++ {
+		// Laplace-smoothed prior handles single-class training sets.
+		c.prior[cls] = math.Log((float64(count[cls]) + 1) / (n + 2))
+		if count[cls] == 0 {
+			for j := 0; j < nf; j++ {
+				c.vari[cls][j] = 1
+			}
+			continue
+		}
+		for j := 0; j < nf; j++ {
+			c.mean[cls][j] /= float64(count[cls])
+		}
+	}
+	for i, row := range ds.X {
+		cls := ds.Y[i]
+		for j, v := range row {
+			d := v - c.mean[cls][j]
+			c.vari[cls][j] += d * d
+		}
+	}
+	for cls := 0; cls < 2; cls++ {
+		if count[cls] == 0 {
+			continue
+		}
+		for j := 0; j < nf; j++ {
+			c.vari[cls][j] = c.vari[cls][j]/float64(count[cls]) + varFloor
+		}
+	}
+	c.fitted = true
+	return nil
+}
+
+func (c *Classifier) logLikelihood(cls int, x []float64) float64 {
+	ll := c.prior[cls]
+	for j, v := range x {
+		m, s2 := c.mean[cls][j], c.vari[cls][j]
+		ll += -0.5*math.Log(2*math.Pi*s2) - (v-m)*(v-m)/(2*s2)
+	}
+	return ll
+}
+
+// PredictProba returns P(fraud|x) via normalized class likelihoods.
+func (c *Classifier) PredictProba(x []float64) float64 {
+	if !c.fitted {
+		return 0.5
+	}
+	l0 := c.logLikelihood(0, x)
+	l1 := c.logLikelihood(1, x)
+	// Normalize in log space for numeric stability.
+	m := math.Max(l0, l1)
+	p0 := math.Exp(l0 - m)
+	p1 := math.Exp(l1 - m)
+	return p1 / (p0 + p1)
+}
+
+// Predict returns the hard label at threshold 0.5.
+func (c *Classifier) Predict(x []float64) int { return ml.Threshold(c.PredictProba(x)) }

@@ -1,0 +1,76 @@
+package naivebayes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "naivebayes", func() ml.Classifier { return New() })
+}
+
+func TestGaussianRecovery(t *testing.T) {
+	// NB is exactly right for axis-aligned Gaussians; check posterior
+	// at the midpoint is ~0.5 and at the centroids is extreme.
+	ds := mltest.Gaussians(2000, 1, 4, 1)
+	clf := New()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	mid := clf.PredictProba([]float64{2})
+	if math.Abs(mid-0.5) > 0.1 {
+		t.Errorf("P at midpoint = %v, want ≈0.5", mid)
+	}
+	if p := clf.PredictProba([]float64{0}); p > 0.1 {
+		t.Errorf("P at negative centroid = %v, want ≈0", p)
+	}
+	if p := clf.PredictProba([]float64{4}); p < 0.9 {
+		t.Errorf("P at positive centroid = %v, want ≈1", p)
+	}
+}
+
+func TestConstantFeature(t *testing.T) {
+	// Zero-variance features must not produce NaNs (variance floor).
+	ds := &ml.Dataset{
+		X: [][]float64{{1, 7}, {2, 7}, {10, 7}, {11, 7}},
+		Y: []int{0, 0, 1, 1},
+	}
+	clf := New()
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	p := clf.PredictProba([]float64{10.5, 7})
+	if math.IsNaN(p) {
+		t.Fatal("NaN probability with constant feature")
+	}
+	if p < 0.9 {
+		t.Fatalf("P = %v, want high for clear positive", p)
+	}
+}
+
+func TestUnfitted(t *testing.T) {
+	clf := New()
+	if p := clf.PredictProba([]float64{1}); p != 0.5 {
+		t.Fatalf("unfitted PredictProba = %v, want 0.5", p)
+	}
+}
+
+func TestPriorShiftsPosterior(t *testing.T) {
+	// Same likelihoods, imbalanced classes: prior must tilt the
+	// posterior toward the majority class at the midpoint.
+	bal := &ml.Dataset{X: [][]float64{{0}, {0.1}, {4}, {4.1}}, Y: []int{0, 0, 1, 1}}
+	imb := &ml.Dataset{X: [][]float64{{0}, {0.1}, {-0.1}, {0.05}, {-0.05}, {0.02}, {4}, {4.1}}, Y: []int{0, 0, 0, 0, 0, 0, 1, 1}}
+	cb, ci := New(), New()
+	if err := cb.Fit(bal); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Fit(imb); err != nil {
+		t.Fatal(err)
+	}
+	if ci.PredictProba([]float64{2}) >= cb.PredictProba([]float64{2}) {
+		t.Fatal("majority-negative prior did not lower positive posterior")
+	}
+}

@@ -1,0 +1,98 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "svm", func() ml.Classifier {
+		return New(Config{Epochs: 30, Seed: 1})
+	})
+}
+
+func TestMarginSign(t *testing.T) {
+	ds := mltest.Gaussians(400, 2, 4, 2)
+	clf := New(Config{Epochs: 30, Seed: 2})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Positive-class centroid should have positive margin.
+	pos := []float64{4, 4}
+	neg := []float64{0, 0}
+	if clf.Margin(pos) <= 0 {
+		t.Errorf("Margin(positive centroid) = %v, want > 0", clf.Margin(pos))
+	}
+	if clf.Margin(neg) >= 0 {
+		t.Errorf("Margin(negative centroid) = %v, want < 0", clf.Margin(neg))
+	}
+}
+
+func TestXORFailsAsExpected(t *testing.T) {
+	// A linear SVM cannot solve XOR; accuracy should hover near 0.5.
+	// This guards against the implementation accidentally being
+	// non-linear.
+	ds := mltest.XOR(400, 3)
+	clf := New(Config{Epochs: 30, Seed: 3})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(clf, ds); acc > 0.7 {
+		t.Fatalf("linear SVM reached %.3f on XOR; should be near chance", acc)
+	}
+}
+
+func TestClassWeightRaisesRecall(t *testing.T) {
+	// Unbalanced data: weighting positives should predict positive on
+	// at least as many test points as the unweighted model.
+	ds := mltest.Gaussians(600, 3, 1.0, 4)
+	// Make it unbalanced: flip 2/3 of positives to negative rows.
+	for i := range ds.Y {
+		if ds.Y[i] == 1 && i%3 != 0 {
+			ds.Y[i] = 0
+		}
+	}
+	plain := New(Config{Epochs: 20, Seed: 5})
+	weighted := New(Config{Epochs: 20, Seed: 5, ClassWeightPos: 5})
+	if err := plain.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	var plainPos, weightedPos int
+	for _, x := range ds.X {
+		plainPos += plain.Predict(x)
+		weightedPos += weighted.Predict(x)
+	}
+	if weightedPos < plainPos {
+		t.Fatalf("class weighting reduced positive predictions: %d < %d", weightedPos, plainPos)
+	}
+}
+
+func TestWeightsExposed(t *testing.T) {
+	ds := mltest.Gaussians(100, 4, 2, 6)
+	clf := New(Config{Epochs: 10, Seed: 7})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := clf.Weights()
+	if len(w) != 4 {
+		t.Fatalf("len(Weights) = %d, want 4", len(w))
+	}
+	// Mutating the copy must not affect the model.
+	before := clf.Margin(ds.X[0])
+	w[0] = 1e9
+	if clf.Margin(ds.X[0]) != before {
+		t.Fatal("Weights returned an aliased slice")
+	}
+}
+
+func TestUnfittedMargin(t *testing.T) {
+	clf := New(Config{})
+	if m := clf.Margin([]float64{1, 2}); m != 0 {
+		t.Fatalf("unfitted Margin = %v, want 0", m)
+	}
+}

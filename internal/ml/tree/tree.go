@@ -1,0 +1,197 @@
+// Package tree implements a CART-style binary decision tree, one of
+// the six candidate classifiers CATS compares in Table III. Splits
+// minimize weighted Gini impurity via exact greedy search over sorted
+// feature values; leaves store the positive-class fraction so the tree
+// can emit probabilities.
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth bounds tree depth; <= 0 means 6.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples per leaf; <= 0 means 1.
+	MinLeaf int
+	// MinGain is the minimum Gini decrease required to split.
+	MinGain float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 6
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	return c
+}
+
+// Classifier is a fitted CART decision tree.
+type Classifier struct {
+	cfg  Config
+	root *node
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	leaf      bool
+	prob      float64 // P(y=1) at this node
+}
+
+// New returns an untrained decision tree with the given configuration.
+func New(cfg Config) *Classifier {
+	return &Classifier{cfg: cfg.withDefaults()}
+}
+
+// Fit grows the tree on ds.
+func (c *Classifier) Fit(ds *ml.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	c.root = c.grow(ds, idx, 0)
+	return nil
+}
+
+func (c *Classifier) grow(ds *ml.Dataset, idx []int, depth int) *node {
+	pos := 0
+	for _, i := range idx {
+		pos += ds.Y[i]
+	}
+	prob := float64(pos) / float64(len(idx))
+	n := &node{leaf: true, prob: prob}
+	if depth >= c.cfg.MaxDepth || pos == 0 || pos == len(idx) || len(idx) < 2*c.cfg.MinLeaf {
+		return n
+	}
+	feat, thr, gain := c.bestSplit(ds, idx, prob)
+	if feat < 0 || gain <= c.cfg.MinGain {
+		return n
+	}
+	var left, right []int
+	for _, i := range idx {
+		if ds.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < c.cfg.MinLeaf || len(right) < c.cfg.MinLeaf {
+		return n
+	}
+	n.leaf = false
+	n.feature = feat
+	n.threshold = thr
+	n.left = c.grow(ds, left, depth+1)
+	n.right = c.grow(ds, right, depth+1)
+	return n
+}
+
+// bestSplit searches all features for the split that minimizes weighted
+// Gini impurity. Returns feature -1 if no valid split exists.
+func (c *Classifier) bestSplit(ds *ml.Dataset, idx []int, parentProb float64) (feat int, thr, gain float64) {
+	parentGini := gini(parentProb)
+	feat = -1
+	n := len(idx)
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, n)
+	for f := 0; f < ds.NumFeatures(); f++ {
+		for k, i := range idx {
+			pairs[k] = pair{ds.X[i][f], ds.Y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		totalPos := 0
+		for _, p := range pairs {
+			totalPos += p.y
+		}
+		leftPos := 0
+		for k := 0; k < n-1; k++ {
+			leftPos += pairs[k].y
+			if pairs[k].v == pairs[k+1].v {
+				continue // can't split between equal values
+			}
+			nl, nr := k+1, n-k-1
+			if nl < c.cfg.MinLeaf || nr < c.cfg.MinLeaf {
+				continue
+			}
+			pl := float64(leftPos) / float64(nl)
+			pr := float64(totalPos-leftPos) / float64(nr)
+			w := (float64(nl)*gini(pl) + float64(nr)*gini(pr)) / float64(n)
+			if g := parentGini - w; g > gain {
+				gain = g
+				feat = f
+				thr = (pairs[k].v + pairs[k+1].v) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+func gini(p float64) float64 { return 2 * p * (1 - p) }
+
+// PredictProba returns the positive-class fraction of the leaf x
+// falls into.
+func (c *Classifier) PredictProba(x []float64) float64 {
+	n := c.root
+	if n == nil {
+		return 0.5
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Predict returns the hard label at threshold 0.5.
+func (c *Classifier) Predict(x []float64) int { return ml.Threshold(c.PredictProba(x)) }
+
+// Depth returns the depth of the fitted tree (0 for a single leaf,
+// math.MinInt if unfitted).
+func (c *Classifier) Depth() int {
+	if c.root == nil {
+		return math.MinInt
+	}
+	return depth(c.root)
+}
+
+func depth(n *node) int {
+	if n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (c *Classifier) NodeCount() int { return count(c.root) }
+
+func count(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return 1 + count(n.left) + count(n.right)
+}

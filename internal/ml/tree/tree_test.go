@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "tree", func() ml.Classifier {
+		return New(Config{MaxDepth: 6, MinLeaf: 2})
+	})
+}
+
+func TestLearnsXOR(t *testing.T) {
+	// Greedy Gini gets near-zero gain on the first XOR split, so the
+	// tree needs extra depth to stumble into the right partition.
+	ds := mltest.XOR(400, 1)
+	clf := New(Config{MaxDepth: 8})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(clf, ds); acc < 0.98 {
+		t.Fatalf("XOR accuracy %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	ds := mltest.Gaussians(500, 5, 0.5, 2)
+	clf := New(Config{MaxDepth: 3})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if d := clf.Depth(); d > 3 {
+		t.Fatalf("Depth = %d, want <= 3", d)
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	ds := &ml.Dataset{
+		X: [][]float64{{1}, {2}, {3}},
+		Y: []int{1, 1, 1},
+	}
+	clf := New(Config{})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if clf.NodeCount() != 1 {
+		t.Fatalf("pure dataset should give a single leaf, got %d nodes", clf.NodeCount())
+	}
+	if p := clf.PredictProba([]float64{99}); p != 1 {
+		t.Fatalf("pure positive leaf prob = %v, want 1", p)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	// With MinLeaf = n/2 + 1 no split can satisfy both children.
+	ds := mltest.Gaussians(20, 2, 5, 3)
+	clf := New(Config{MaxDepth: 5, MinLeaf: 11})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if clf.NodeCount() != 1 {
+		t.Fatalf("expected single leaf under MinLeaf pressure, got %d nodes", clf.NodeCount())
+	}
+}
+
+func TestConstantFeaturesNoSplit(t *testing.T) {
+	ds := &ml.Dataset{
+		X: [][]float64{{7, 7}, {7, 7}, {7, 7}, {7, 7}},
+		Y: []int{0, 1, 0, 1},
+	}
+	clf := New(Config{})
+	if err := clf.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if clf.NodeCount() != 1 {
+		t.Fatalf("constant features must not split, got %d nodes", clf.NodeCount())
+	}
+	if p := clf.PredictProba([]float64{7, 7}); p != 0.5 {
+		t.Fatalf("balanced leaf prob = %v, want 0.5", p)
+	}
+}
+
+func TestUnfittedDepth(t *testing.T) {
+	clf := New(Config{})
+	if clf.Depth() >= 0 {
+		t.Fatal("unfitted Depth should be negative sentinel")
+	}
+	if p := clf.PredictProba([]float64{1}); p != 0.5 {
+		t.Fatalf("unfitted PredictProba = %v, want 0.5", p)
+	}
+}

@@ -1,0 +1,236 @@
+// Package platform serves a synthetic e-commerce site over HTTP — the
+// stand-in for the public web pages of E-platform that the paper's
+// Scrapy-based collector crawled for a week (Section IV-A). The site
+// exposes the same three public surfaces the paper scrapes:
+//
+//	GET /shops?page=N                 — paginated shop directory
+//	GET /shops/{id}/items?page=N      — paginated item listings per shop
+//	GET /items/{id}/comments?page=N   — paginated comments per item
+//
+// Responses are JSON. A configurable artificial latency and an
+// every-nth-request transient 503 exercise the crawler's politeness and
+// retry paths.
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ecom"
+	"repro/internal/synth"
+)
+
+// Options tunes the simulated site's behavior.
+type Options struct {
+	// PageSize is the number of records per page; <= 0 means 20.
+	PageSize int
+	// Latency delays every response (simulated server work).
+	Latency time.Duration
+	// FailEvery makes every nth request return 503 (0 disables).
+	FailEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = 20
+	}
+	return o
+}
+
+// Server is the simulated platform. Create one with New, mount its
+// Handler (e.g. via httptest.NewServer), and point the collector at it.
+type Server struct {
+	opts Options
+
+	mu       sync.RWMutex
+	shops    []ecom.Shop
+	byShop   map[string][]*ecom.Item
+	items    map[string]*ecom.Item
+	requests atomic.Int64
+}
+
+// ShopPage is the JSON payload of the shop directory.
+type ShopPage struct {
+	Shops   []ecom.Shop `json:"shops"`
+	Page    int         `json:"page"`
+	HasNext bool        `json:"has_next"`
+}
+
+// ItemSummary is the public listing view of an item (no comments, no
+// label — labels are internal ground truth, never exposed).
+type ItemSummary struct {
+	ID          string `json:"item_id"`
+	ShopID      string `json:"shop_id"`
+	Name        string `json:"item_name"`
+	PriceCents  int64  `json:"price_cents"`
+	SalesVolume int    `json:"sales_volume"`
+}
+
+// ItemPage is the JSON payload of a shop's item listing.
+type ItemPage struct {
+	Items   []ItemSummary `json:"items"`
+	Page    int           `json:"page"`
+	HasNext bool          `json:"has_next"`
+}
+
+// CommentPage is the JSON payload of an item's comment listing.
+type CommentPage struct {
+	Comments []ecom.Comment `json:"comments"`
+	Page     int            `json:"page"`
+	HasNext  bool           `json:"has_next"`
+}
+
+// New builds a Server from a generated universe.
+func New(u *synth.Universe, opts Options) *Server {
+	s := &Server{
+		opts:   opts.withDefaults(),
+		byShop: map[string][]*ecom.Item{},
+		items:  map[string]*ecom.Item{},
+	}
+	seenShop := map[string]bool{}
+	for i := range u.Dataset.Items {
+		it := &u.Dataset.Items[i]
+		s.byShop[it.ShopID] = append(s.byShop[it.ShopID], it)
+		s.items[it.ID] = it
+		if !seenShop[it.ShopID] {
+			seenShop[it.ShopID] = true
+			s.shops = append(s.shops, ecom.Shop{ID: it.ShopID, Name: "shop " + it.ShopID, URL: "/shops/" + it.ShopID})
+		}
+	}
+	return s
+}
+
+// Requests returns the number of requests served, for politeness tests.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// NumShops returns the number of shops with at least one item.
+func (s *Server) NumShops() int { return len(s.shops) }
+
+// Handler returns the site's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shops", s.withMiddleware(s.handleShops))
+	mux.HandleFunc("/shops/", s.withMiddleware(s.handleShopItems))
+	mux.HandleFunc("/items/", s.withMiddleware(s.handleComments))
+	return mux
+}
+
+func (s *Server) withMiddleware(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := s.requests.Add(1)
+		if s.opts.FailEvery > 0 && n%int64(s.opts.FailEvery) == 0 {
+			http.Error(w, "transient overload", http.StatusServiceUnavailable)
+			return
+		}
+		if s.opts.Latency > 0 {
+			time.Sleep(s.opts.Latency)
+		}
+		h(w, r)
+	}
+}
+
+func pageParam(r *http.Request) int {
+	p, err := strconv.Atoi(r.URL.Query().Get("page"))
+	if err != nil || p < 0 {
+		return 0
+	}
+	return p
+}
+
+// paginate returns the [lo,hi) window of n records for page p plus
+// whether more pages follow.
+func paginate(n, p, size int) (lo, hi int, hasNext bool) {
+	lo = p * size
+	if lo > n {
+		lo = n
+	}
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, hi < n
+}
+
+func (s *Server) handleShops(w http.ResponseWriter, r *http.Request) {
+	p := pageParam(r)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo, hi, more := paginate(len(s.shops), p, s.opts.PageSize)
+	writeJSON(w, ShopPage{Shops: s.shops[lo:hi], Page: p, HasNext: more})
+}
+
+func (s *Server) handleShopItems(w http.ResponseWriter, r *http.Request) {
+	// Path: /shops/{id}/items
+	rest := strings.TrimPrefix(r.URL.Path, "/shops/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[1] != "items" {
+		http.NotFound(w, r)
+		return
+	}
+	shopID := parts[0]
+	p := pageParam(r)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	items, ok := s.byShop[shopID]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	lo, hi, more := paginate(len(items), p, s.opts.PageSize)
+	page := ItemPage{Page: p, HasNext: more}
+	for _, it := range items[lo:hi] {
+		page.Items = append(page.Items, ItemSummary{
+			ID: it.ID, ShopID: it.ShopID, Name: it.Name,
+			PriceCents: it.PriceCents, SalesVolume: it.SalesVolume,
+		})
+	}
+	writeJSON(w, page)
+}
+
+func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
+	// Path: /items/{id}/comments
+	rest := strings.TrimPrefix(r.URL.Path, "/items/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[1] != "comments" {
+		http.NotFound(w, r)
+		return
+	}
+	itemID := parts[0]
+	p := pageParam(r)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[itemID]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	lo, hi, more := paginate(len(it.Comments), p, s.opts.PageSize)
+	writeJSON(w, CommentPage{Comments: it.Comments[lo:hi], Page: p, HasNext: more})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing more to do.
+		_ = err
+	}
+}
+
+// URLFor helpers build the site's canonical paths.
+func URLForShops(page int) string { return fmt.Sprintf("/shops?page=%d", page) }
+
+// URLForShopItems builds the item-listing path for a shop page.
+func URLForShopItems(shopID string, page int) string {
+	return fmt.Sprintf("/shops/%s/items?page=%d", shopID, page)
+}
+
+// URLForComments builds the comment-listing path for an item page.
+func URLForComments(itemID string, page int) string {
+	return fmt.Sprintf("/items/%s/comments?page=%d", itemID, page)
+}

@@ -1,0 +1,190 @@
+package platform
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	u := synth.Generate(synth.Config{
+		Name: "site", Seed: 3, FraudEvidence: 5, Normal: 20, Shops: 3,
+	})
+	srv := New(u, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestShopDirectoryPagination(t *testing.T) {
+	srv, ts := newTestServer(t, Options{PageSize: 2})
+	var all []string
+	page := 0
+	for {
+		var sp ShopPage
+		if code := get(t, ts.URL+URLForShops(page), &sp); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		for _, s := range sp.Shops {
+			all = append(all, s.ID)
+		}
+		if len(sp.Shops) > 2 {
+			t.Fatalf("page has %d shops, page size 2", len(sp.Shops))
+		}
+		if !sp.HasNext {
+			break
+		}
+		page++
+	}
+	if len(all) != srv.NumShops() {
+		t.Fatalf("paginated %d shops, want %d", len(all), srv.NumShops())
+	}
+	seen := map[string]bool{}
+	for _, id := range all {
+		if seen[id] {
+			t.Fatalf("shop %s repeated across pages", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestItemListing(t *testing.T) {
+	_, ts := newTestServer(t, Options{PageSize: 50})
+	var sp ShopPage
+	get(t, ts.URL+URLForShops(0), &sp)
+	if len(sp.Shops) == 0 {
+		t.Fatal("no shops")
+	}
+	var ip ItemPage
+	if code := get(t, ts.URL+URLForShopItems(sp.Shops[0].ID, 0), &ip); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(ip.Items) == 0 {
+		t.Fatal("no items in first shop")
+	}
+	for _, it := range ip.Items {
+		if it.ShopID != sp.Shops[0].ID {
+			t.Fatalf("item %s has shop %s", it.ID, it.ShopID)
+		}
+	}
+}
+
+func TestCommentsPaginationComplete(t *testing.T) {
+	_, ts := newTestServer(t, Options{PageSize: 3})
+	var sp ShopPage
+	get(t, ts.URL+URLForShops(0), &sp)
+	var ip ItemPage
+	get(t, ts.URL+URLForShopItems(sp.Shops[0].ID, 0), &ip)
+	itemID := ip.Items[0].ID
+
+	total := 0
+	page := 0
+	for {
+		var cp CommentPage
+		if code := get(t, ts.URL+URLForComments(itemID, page), &cp); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		total += len(cp.Comments)
+		for _, c := range cp.Comments {
+			if c.ItemID != itemID {
+				t.Fatalf("comment %s belongs to %s", c.ID, c.ItemID)
+			}
+		}
+		if !cp.HasNext {
+			break
+		}
+		page++
+	}
+	if total == 0 {
+		t.Fatal("no comments for item")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if code := get(t, ts.URL+URLForShopItems("nope", 0), nil); code != 404 {
+		t.Errorf("missing shop status = %d, want 404", code)
+	}
+	if code := get(t, ts.URL+URLForComments("nope", 0), nil); code != 404 {
+		t.Errorf("missing item status = %d, want 404", code)
+	}
+	if code := get(t, ts.URL+"/shops/x/bogus", nil); code != 404 {
+		t.Errorf("bad path status = %d, want 404", code)
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	_, ts := newTestServer(t, Options{FailEvery: 2})
+	codes := map[int]int{}
+	for i := 0; i < 10; i++ {
+		codes[get(t, ts.URL+URLForShops(0), nil)]++
+	}
+	if codes[503] == 0 {
+		t.Fatal("FailEvery produced no 503s")
+	}
+	if codes[200] == 0 {
+		t.Fatal("FailEvery blocked all requests")
+	}
+}
+
+func TestRequestCounter(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	before := srv.Requests()
+	get(t, ts.URL+URLForShops(0), nil)
+	get(t, ts.URL+URLForShops(0), nil)
+	if srv.Requests()-before != 2 {
+		t.Fatalf("Requests delta = %d, want 2", srv.Requests()-before)
+	}
+}
+
+func TestNoLabelLeakage(t *testing.T) {
+	// The public item listing must not expose ground-truth labels.
+	_, ts := newTestServer(t, Options{PageSize: 100})
+	var sp ShopPage
+	get(t, ts.URL+URLForShops(0), &sp)
+	resp, err := http.Get(ts.URL + URLForShopItems(sp.Shops[0].ID, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	items := raw["items"].([]any)
+	for _, it := range items {
+		if _, ok := it.(map[string]any)["label"]; ok {
+			t.Fatal("item listing leaks ground-truth label")
+		}
+	}
+}
+
+func TestPageParamValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var sp ShopPage
+	if code := get(t, ts.URL+"/shops?page=abc", &sp); code != 200 {
+		t.Fatalf("invalid page param status = %d, want 200 (treated as 0)", code)
+	}
+	if sp.Page != 0 {
+		t.Fatalf("invalid page param produced page %d", sp.Page)
+	}
+}

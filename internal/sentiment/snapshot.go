@@ -1,0 +1,40 @@
+package sentiment
+
+import "errors"
+
+// Snapshot is the JSON-serializable form of a fitted sentiment model.
+type Snapshot struct {
+	LogPrior [2]float64            `json:"log_prior"`
+	LogLik   [2]map[string]float64 `json:"log_lik"`
+	LogOOV   [2]float64            `json:"log_oov"`
+}
+
+// Snapshot captures the fitted model; it returns an error before Train.
+func (m *Model) Snapshot() (*Snapshot, error) {
+	if !m.fitted {
+		return nil, errors.New("sentiment: model not fitted")
+	}
+	s := &Snapshot{LogPrior: m.logPrior, LogOOV: m.logOOV}
+	for c := 0; c < 2; c++ {
+		s.LogLik[c] = make(map[string]float64, len(m.logLik[c]))
+		for w, v := range m.logLik[c] {
+			s.LogLik[c][w] = v
+		}
+	}
+	return s, nil
+}
+
+// FromSnapshot reconstructs a fitted model.
+func FromSnapshot(s *Snapshot) (*Model, error) {
+	if s == nil {
+		return nil, errors.New("sentiment: nil snapshot")
+	}
+	m := &Model{logPrior: s.LogPrior, logOOV: s.LogOOV, fitted: true}
+	for c := 0; c < 2; c++ {
+		m.logLik[c] = make(map[string]float64, len(s.LogLik[c]))
+		for w, v := range s.LogLik[c] {
+			m.logLik[c][w] = v
+		}
+	}
+	return m, nil
+}

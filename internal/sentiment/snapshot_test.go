@@ -1,0 +1,41 @@
+package sentiment
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := trainToy(t)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FromSnapshot(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]string{{"很好", "满意"}, {"太差"}, {"未知词", "很好"}, nil}
+	for _, d := range docs {
+		if m.Score(d) != m2.Score(d) {
+			t.Fatalf("Score(%v) changed across round trip", d)
+		}
+	}
+}
+
+func TestSnapshotUnfitted(t *testing.T) {
+	if _, err := (&Model{}).Snapshot(); err == nil {
+		t.Error("unfitted snapshot should error")
+	}
+	if _, err := FromSnapshot(nil); err == nil {
+		t.Error("nil snapshot should error")
+	}
+}

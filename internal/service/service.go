@@ -1,0 +1,323 @@
+// Package service exposes a trained CATS detector over HTTP — the
+// integration surface for the Section VI deployment setting, where the
+// platform streams items to the detector and receives fraud verdicts.
+//
+// Endpoints:
+//
+//	POST /v1/detect      — body: {"items": [Item...]} → per-item detections
+//	POST /v1/explain     — body: {"item": Item} → decision-path explanation
+//	GET  /v1/importance  — the model's Fig 7 split-count importance
+//	GET  /v1/lexicon     — the expanded positive/negative word sets
+//	GET  /v1/drift       — scored-traffic vs training feature drift (KS)
+//	GET  /healthz        — liveness
+//
+// All payloads are JSON. Request bodies are size-capped and malformed
+// input yields 400 rather than 500.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ecom"
+	"repro/internal/features"
+	"repro/internal/ml/gbt"
+	"repro/internal/stats"
+)
+
+// Options tunes the service.
+type Options struct {
+	// MaxBodyBytes caps request bodies; <= 0 means 32 MiB.
+	MaxBodyBytes int64
+	// MaxItems caps items per detect call; <= 0 means 10,000.
+	MaxItems int
+	// Workers bounds per-request feature-extraction parallelism;
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// TrainingSample is the feature matrix of the detector's training
+	// set. When set, the service tracks the feature distributions of
+	// scored traffic and /v1/drift reports per-feature KS distances
+	// against training — the drift signal that tells operators the
+	// model needs retraining (fraud campaigns adapt).
+	TrainingSample [][]float64
+	// DriftReservoir caps the retained scored-traffic sample per
+	// feature; <= 0 means 4096.
+	DriftReservoir int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.MaxItems <= 0 {
+		o.MaxItems = 10000
+	}
+	if o.DriftReservoir <= 0 {
+		o.DriftReservoir = 4096
+	}
+	return o
+}
+
+// Server serves detection requests from a trained detector. It is safe
+// for concurrent use.
+type Server struct {
+	opts     Options
+	detector *core.Detector
+	analyzer *core.Analyzer
+	served   atomic.Int64
+
+	// drift state: a bounded reservoir of scored-traffic feature
+	// vectors (guarded by driftMu).
+	driftMu   sync.Mutex
+	driftSeen int64
+	driftRes  [][]float64
+	driftRng  *rand.Rand
+}
+
+// New builds a Server around a trained detector.
+func New(det *core.Detector, analyzer *core.Analyzer, opts Options) *Server {
+	return &Server{
+		opts:     opts.withDefaults(),
+		detector: det,
+		analyzer: analyzer,
+		driftRng: rand.New(rand.NewSource(1)),
+	}
+}
+
+// recordDrift reservoir-samples scored feature vectors.
+func (s *Server) recordDrift(vectors [][]float64) {
+	if s.opts.TrainingSample == nil {
+		return
+	}
+	s.driftMu.Lock()
+	defer s.driftMu.Unlock()
+	for _, v := range vectors {
+		s.driftSeen++
+		if len(s.driftRes) < s.opts.DriftReservoir {
+			s.driftRes = append(s.driftRes, v)
+			continue
+		}
+		if j := s.driftRng.Int63n(s.driftSeen); int(j) < len(s.driftRes) {
+			s.driftRes[j] = v
+		}
+	}
+}
+
+// ItemsServed reports the number of items scored since start.
+func (s *Server) ItemsServed() int64 { return s.served.Load() }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/detect", s.handleDetect)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
+	mux.HandleFunc("/v1/importance", s.handleImportance)
+	mux.HandleFunc("/v1/drift", s.handleDrift)
+	mux.HandleFunc("/v1/lexicon", s.handleLexicon)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "items_served": s.ItemsServed()})
+	})
+	return mux
+}
+
+// DetectRequest is the /v1/detect request body.
+type DetectRequest struct {
+	Items []ecom.Item `json:"items"`
+}
+
+// DetectionDTO is one scored item in the response.
+type DetectionDTO struct {
+	ItemID   string  `json:"item_id"`
+	Score    float64 `json:"score"`
+	IsFraud  bool    `json:"fraud"`
+	Filtered bool    `json:"filtered"`
+}
+
+// DetectResponse is the /v1/detect response body.
+type DetectResponse struct {
+	Detections []DetectionDTO `json:"detections"`
+	Reported   int            `json:"reported"`
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DetectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "no items")
+		return
+	}
+	if len(req.Items) > s.opts.MaxItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("%d items exceeds the %d-item limit", len(req.Items), s.opts.MaxItems))
+		return
+	}
+	dets, err := s.detector.Detect(req.Items, s.opts.Workers)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if s.opts.TrainingSample != nil {
+		s.recordDrift(s.detector.Extractor().ExtractDataset(req.Items, s.opts.Workers))
+	}
+	resp := DetectResponse{Detections: make([]DetectionDTO, len(dets))}
+	for i, d := range dets {
+		resp.Detections[i] = DetectionDTO{
+			ItemID: d.ItemID, Score: d.Score, IsFraud: d.IsFraud, Filtered: d.Filtered,
+		}
+		if d.IsFraud {
+			resp.Reported++
+		}
+	}
+	s.served.Add(int64(len(dets)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainRequest is the /v1/explain request body: one item to explain.
+type ExplainRequest struct {
+	Item ecom.Item `json:"item"`
+}
+
+// ExplainResponse is the /v1/explain response body.
+type ExplainResponse struct {
+	Detection DetectionDTO     `json:"detection"`
+	Features  []gbt.Importance `json:"decision_path_features"`
+	Vector    []float64        `json:"feature_vector"`
+	Names     []string         `json:"feature_names"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ExplainRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	det, err := s.detector.DetectItem(&req.Item)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	exp, err := s.detector.Explain(&req.Item)
+	if err != nil {
+		writeError(w, http.StatusNotImplemented, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Detection: DetectionDTO{ItemID: det.ItemID, Score: det.Score, IsFraud: det.IsFraud, Filtered: det.Filtered},
+		Features:  exp,
+		Vector:    s.detector.Extractor().Vector(&req.Item),
+		Names:     features.Names,
+	})
+}
+
+// ImportanceResponse is the /v1/importance response body.
+type ImportanceResponse struct {
+	Features []gbt.Importance `json:"features"`
+}
+
+func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.detector.Classifier().(*gbt.Classifier)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "classifier has no split-count importance")
+		return
+	}
+	imp, err := g.FeatureImportance()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ImportanceResponse{Features: imp})
+}
+
+// DriftFeature is one feature's training-vs-traffic comparison.
+type DriftFeature struct {
+	Feature string  `json:"feature"`
+	KS      float64 `json:"ks"`
+}
+
+// DriftResponse is the /v1/drift response body.
+type DriftResponse struct {
+	ItemsObserved int64          `json:"items_observed"`
+	SampleSize    int            `json:"sample_size"`
+	Features      []DriftFeature `json:"features"`
+	// MaxKS is the worst per-feature divergence — the headline drift
+	// signal to alert on.
+	MaxKS float64 `json:"max_ks"`
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.opts.TrainingSample == nil {
+		writeError(w, http.StatusNotImplemented, "drift tracking disabled: no training sample configured")
+		return
+	}
+	s.driftMu.Lock()
+	sample := make([][]float64, len(s.driftRes))
+	copy(sample, s.driftRes)
+	seen := s.driftSeen
+	s.driftMu.Unlock()
+	resp := DriftResponse{ItemsObserved: seen, SampleSize: len(sample)}
+	if len(sample) == 0 {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	column := func(rows [][]float64, j int) []float64 {
+		out := make([]float64, len(rows))
+		for i := range rows {
+			out[i] = rows[i][j]
+		}
+		return out
+	}
+	for j, name := range features.Names {
+		ks := stats.KS(column(s.opts.TrainingSample, j), column(sample, j))
+		resp.Features = append(resp.Features, DriftFeature{Feature: name, KS: ks})
+		if ks > resp.MaxKS {
+			resp.MaxKS = ks
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// LexiconResponse is the /v1/lexicon response body.
+type LexiconResponse struct {
+	Positive     []string `json:"positive"`
+	Negative     []string `json:"negative"`
+	FeatureNames []string `json:"feature_names"`
+}
+
+func (s *Server) handleLexicon(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, LexiconResponse{
+		Positive:     s.analyzer.Positive.Words(),
+		Negative:     s.analyzer.Negative.Words(),
+		FeatureNames: features.Names,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Connection-level failure; nothing else to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

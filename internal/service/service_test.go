@@ -1,0 +1,363 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecom"
+	"repro/internal/synth"
+	"repro/internal/textgen"
+)
+
+func newTestService(t *testing.T, opts Options) (*Server, *httptest.Server, *synth.Universe) {
+	t.Helper()
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(800, 91)
+	analyzer, err := core.OracleAnalyzer(bank, texts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(analyzer, core.DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := synth.Generate(synth.Config{
+		Name: "svc-train", Seed: 92, FraudEvidence: 80, Normal: 120, Shops: 6,
+	})
+	if err := det.Train(&train.Dataset, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(det, analyzer, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	test := synth.Generate(synth.Config{
+		Name: "svc-test", Seed: 93, FraudEvidence: 15, Normal: 45, Shops: 4,
+	})
+	return srv, ts, test
+}
+
+func postDetect(t *testing.T, url string, body []byte) (*http.Response, DetectResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out DetectResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	srv, ts, test := newTestService(t, Options{})
+	body, err := json.Marshal(DetectRequest{Items: test.Dataset.Items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postDetect(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Detections) != len(test.Dataset.Items) {
+		t.Fatalf("got %d detections, want %d", len(out.Detections), len(test.Dataset.Items))
+	}
+	if out.Reported == 0 {
+		t.Error("no fraud reported on a set containing fraud")
+	}
+	// Verify verdict quality against hidden labels.
+	truth := map[string]bool{}
+	for i := range test.Dataset.Items {
+		truth[test.Dataset.Items[i].ID] = test.Dataset.Items[i].Label.IsFraud()
+	}
+	var tp, fp int
+	for _, d := range out.Detections {
+		if d.IsFraud {
+			if truth[d.ItemID] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	if prec := float64(tp) / float64(tp+fp); prec < 0.7 {
+		t.Errorf("service precision %.2f", prec)
+	}
+	if srv.ItemsServed() != int64(len(test.Dataset.Items)) {
+		t.Errorf("ItemsServed = %d", srv.ItemsServed())
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{MaxItems: 2})
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	r2, _ := postDetect(t, ts.URL, []byte("{broken"))
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed status = %d", r2.StatusCode)
+	}
+	// Empty items.
+	r3, _ := postDetect(t, ts.URL, []byte(`{"items":[]}`))
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty status = %d", r3.StatusCode)
+	}
+	// Too many items.
+	items := make([]ecom.Item, 3)
+	body, _ := json.Marshal(DetectRequest{Items: items})
+	r4, _ := postDetect(t, ts.URL, body)
+	if r4.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("overflow status = %d", r4.StatusCode)
+	}
+}
+
+func TestBodySizeCap(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{MaxBodyBytes: 64})
+	big := `{"items":[{"item_id":"` + strings.Repeat("x", 500) + `"}]}`
+	resp, _ := postDetect(t, ts.URL, []byte(big))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestImportanceEndpoint(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/importance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ImportanceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Features) != 11 {
+		t.Fatalf("features = %d, want 11", len(out.Features))
+	}
+}
+
+func TestLexiconEndpoint(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/lexicon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out LexiconResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Positive) == 0 || len(out.Negative) == 0 {
+		t.Fatal("empty lexicons")
+	}
+	if len(out.FeatureNames) != 11 {
+		t.Fatalf("feature names = %d", len(out.FeatureNames))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentDetectRequests(t *testing.T) {
+	srv, ts, test := newTestService(t, Options{})
+	body, err := json.Marshal(DetectRequest{Items: test.Dataset.Items[:20]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out DetectResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if len(out.Detections) != 20 {
+				errs <- fmt.Errorf("got %d detections", len(out.Detections))
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.ItemsServed() != clients*20 {
+		t.Fatalf("ItemsServed = %d, want %d", srv.ItemsServed(), clients*20)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts, test := newTestService(t, Options{})
+	body, err := json.Marshal(ExplainRequest{Item: test.Dataset.Items[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Detection.ItemID != test.Dataset.Items[0].ID {
+		t.Fatalf("explained wrong item %q", out.Detection.ItemID)
+	}
+	if len(out.Features) != 11 || len(out.Vector) != 11 || len(out.Names) != 11 {
+		t.Fatalf("explanation shapes: %d features, %d vector, %d names",
+			len(out.Features), len(out.Vector), len(out.Names))
+	}
+
+	// Method and body validation.
+	r2, err := http.Get(ts.URL + "/v1/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", r2.StatusCode)
+	}
+	r3, err := http.Post(ts.URL+"/v1/explain", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed status = %d", r3.StatusCode)
+	}
+}
+
+func TestDriftEndpoint(t *testing.T) {
+	// Build a service with drift tracking on, send two traffic
+	// profiles, and confirm the KS signal distinguishes them.
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(800, 94)
+	analyzer, err := core.OracleAnalyzer(bank, texts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(analyzer, core.DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := synth.Generate(synth.Config{
+		Name: "drift-train", Seed: 95, FraudEvidence: 80, Normal: 120, Shops: 6,
+	})
+	if err := det.Train(&train.Dataset, 0); err != nil {
+		t.Fatal(err)
+	}
+	trainX := det.Extractor().ExtractDataset(train.Dataset.Items, 0)
+	srv := New(det, analyzer, Options{TrainingSample: trainX})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	getDrift := func() DriftResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/drift")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out DriftResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Before traffic: empty sample.
+	if d := getDrift(); d.SampleSize != 0 {
+		t.Fatalf("pre-traffic sample size = %d", d.SampleSize)
+	}
+
+	// In-distribution traffic: low drift.
+	same := synth.Generate(synth.Config{
+		Name: "drift-same", Seed: 96, FraudEvidence: 60, Normal: 90, Shops: 6,
+	})
+	body, _ := json.Marshal(DetectRequest{Items: same.Dataset.Items})
+	resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	low := getDrift()
+	if low.SampleSize == 0 {
+		t.Fatal("drift reservoir empty after traffic")
+	}
+	if len(low.Features) != 11 {
+		t.Fatalf("drift features = %d", len(low.Features))
+	}
+
+	// Shifted traffic: a normal-only universe with long comments looks
+	// nothing like the balanced training set.
+	shifted := synth.Generate(synth.Config{
+		Name: "drift-shift", Seed: 97, FraudEvidence: 1, Normal: 200, Shops: 6,
+		NormalCommentsMin: 40, NormalCommentsMax: 60,
+	})
+	body2, _ := json.Marshal(DetectRequest{Items: shifted.Dataset.Items})
+	for i := 0; i < 5; i++ { // flood the reservoir with shifted traffic
+		r, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	high := getDrift()
+	if high.MaxKS <= low.MaxKS {
+		t.Fatalf("shifted traffic KS %.3f not above in-distribution %.3f", high.MaxKS, low.MaxKS)
+	}
+}
+
+func TestDriftDisabled(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501 when drift tracking is off", resp.StatusCode)
+	}
+}

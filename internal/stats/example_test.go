@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleKS() {
+	same := stats.KS([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	disjoint := stats.KS([]float64{1, 2}, []float64{10, 11})
+	fmt.Printf("identical=%.0f disjoint=%.0f\n", same, disjoint)
+	// Output: identical=0 disjoint=1
+}
+
+func ExampleTopWords() {
+	counts := map[string]int{"不错": 5, "很好": 3, "质量": 3}
+	for _, wc := range stats.TopWords(counts, 2) {
+		fmt.Println(wc.Word, wc.Count)
+	}
+	// Output:
+	// 不错 5
+	// 很好 3
+}
+
+func ExampleEntropyOfWords() {
+	fmt.Printf("%.0f %.0f\n",
+		stats.EntropyOfWords([]string{"好", "好", "好"}),
+		stats.EntropyOfWords([]string{"一", "二", "三", "四"}))
+	// Output: 0 2
+}

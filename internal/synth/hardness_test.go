@@ -1,0 +1,124 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecom"
+)
+
+func TestCategoriesAssigned(t *testing.T) {
+	u := Generate(Config{
+		Name: "cats", Seed: 41, FraudEvidence: 50, Normal: 350, Shops: 10,
+	})
+	seen := map[string]int{}
+	for i := range u.Dataset.Items {
+		c := u.Dataset.Items[i].Category
+		if c == "" {
+			t.Fatal("item without category")
+		}
+		seen[c]++
+	}
+	if len(seen) != len(ecom.Categories) {
+		t.Fatalf("saw %d categories, want %d", len(seen), len(ecom.Categories))
+	}
+	valid := map[string]bool{}
+	for _, c := range ecom.Categories {
+		valid[c] = true
+	}
+	for c := range seen {
+		if !valid[c] {
+			t.Fatalf("unknown category %q", c)
+		}
+	}
+}
+
+// commentLenSum totals fraud items' comment counts for a config.
+func fraudCommentCount(cfg Config) int {
+	u := Generate(cfg)
+	n := 0
+	for i := range u.Dataset.Items {
+		if u.Dataset.Items[i].Label.IsFraud() {
+			n += len(u.Dataset.Items[i].Comments)
+		}
+	}
+	return n
+}
+
+func TestSubtleFraudShrinksCampaigns(t *testing.T) {
+	base := Config{Name: "h", Seed: 42, FraudEvidence: 300, Normal: 10, Shops: 5}
+	allSubtle := base
+	allSubtle.SubtleFraud = 0.999
+	allSubtle.DeepCoverFraud = -1
+	none := base
+	none.SubtleFraud = -1
+	none.DeepCoverFraud = -1
+	if s, n := fraudCommentCount(allSubtle), fraudCommentCount(none); s >= n {
+		t.Fatalf("subtle campaigns should have fewer comments: %d >= %d", s, n)
+	}
+}
+
+func TestDisablingMixturesRestoresSeparability(t *testing.T) {
+	// With every hard mixture disabled, fraud comments should be
+	// uniformly blatant: long and saturated. Compare average comment
+	// length of fraud items across the two settings.
+	avgFraudLen := func(cfg Config) float64 {
+		u := Generate(cfg)
+		var total, n int
+		for i := range u.Dataset.Items {
+			it := &u.Dataset.Items[i]
+			if !it.Label.IsFraud() {
+				continue
+			}
+			for j := range it.Comments {
+				total += len([]rune(it.Comments[j].Content))
+				n++
+			}
+		}
+		return float64(total) / float64(n)
+	}
+	base := Config{Name: "sep", Seed: 43, FraudEvidence: 150, Normal: 20, Shops: 5}
+	hard := base // defaults: 30% subtle + 10% deep cover
+	easy := base
+	easy.SubtleFraud = -1
+	easy.DeepCoverFraud = -1
+	if h, e := avgFraudLen(hard), avgFraudLen(easy); h >= e {
+		t.Fatalf("hard-mixture fraud comments should be shorter on average: %.1f >= %.1f", h, e)
+	}
+}
+
+func TestEnthusiasticNormalBoostsPositivity(t *testing.T) {
+	posWordShare := func(enth float64) float64 {
+		u := Generate(Config{
+			Name: "e", Seed: 44, FraudEvidence: 1, Normal: 300, Shops: 5,
+			EnthusiasticNormal: enth,
+		})
+		bank := u.Bank
+		var pos, total int
+		for i := range u.Dataset.Items {
+			it := &u.Dataset.Items[i]
+			if it.Label.IsFraud() {
+				continue
+			}
+			for j := range it.Comments {
+				total++
+				// Cheap proxy: count comments containing a head
+				// positive word.
+				for _, w := range bank.Positive[:10] {
+					if containsWord(it.Comments[j].Content, w) {
+						pos++
+						break
+					}
+				}
+			}
+		}
+		return float64(pos) / float64(total)
+	}
+	if lo, hi := posWordShare(-1), posWordShare(0.5); hi <= lo {
+		t.Fatalf("enthusiastic share did not raise positivity: %.3f <= %.3f", hi, lo)
+	}
+}
+
+func containsWord(s, w string) bool {
+	return strings.Contains(s, w)
+}

@@ -1,0 +1,18 @@
+package tokenize_test
+
+import (
+	"fmt"
+
+	"repro/internal/tokenize"
+)
+
+func ExampleSegmenter_Words() {
+	seg := tokenize.NewSegmenter([]string{"我", "很", "喜欢", "这件", "商品"})
+	fmt.Println(seg.Words("我很喜欢这件商品！"))
+	// Output: [我 很 喜欢 这件 商品]
+}
+
+func ExampleCountPunct() {
+	fmt.Println(tokenize.CountPunct("很好！！，真的～"))
+	// Output: 4
+}

@@ -1,0 +1,43 @@
+package tokenize
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzSegmentRoundTrip checks the segmenter's lossless property on
+// arbitrary input: rejoining all tokens (with whitespace kept) must
+// reproduce the input, and no call may panic.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	seg := NewSegmenter([]string{"我", "喜欢", "好评", "质量", "不错", "很好"})
+	f.Add("我很喜欢这件商品")
+	f.Add("质量不错，物流很快！ok 5星")
+	f.Add("")
+	f.Add("   ")
+	f.Add("！！！～～～")
+	f.Add("abc123好评xyz")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		toks := seg.SegmentAll(s)
+		var joined string
+		for _, tok := range toks {
+			if tok.Text == "" {
+				t.Fatalf("empty token in segmentation of %q", s)
+			}
+			joined += tok.Text
+		}
+		if joined != s {
+			t.Fatalf("round trip failed: %q → %q", s, joined)
+		}
+		// Words must never contain punctuation runes.
+		for _, w := range seg.Words(s) {
+			for _, r := range w {
+				if IsPunct(r) {
+					t.Fatalf("word %q contains punctuation", w)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,205 @@
+// Package tokenize provides dictionary-driven word segmentation for
+// Chinese-style e-commerce comment text, plus rune classification
+// helpers used by the structural feature extractors.
+//
+// Comments on the platforms CATS targets are written mostly in Chinese,
+// which has no word boundaries. CATS' upstream implementation relied on
+// the segmenters embedded in SnowNLP/jieba; this package reimplements
+// the same idea with a forward maximum-match (FMM) segmenter over a
+// vocabulary dictionary. Latin runs and digit runs are emitted as single
+// tokens, punctuation is emitted as punctuation tokens, and CJK runs are
+// split against the dictionary with a single-rune fallback.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	KindWord  Kind = iota // dictionary or fallback word (CJK, latin, digits)
+	KindPunct             // punctuation or symbol
+	KindSpace             // whitespace run (usually dropped by callers)
+)
+
+// Token is a single segmented unit of text.
+type Token struct {
+	Text string
+	Kind Kind
+}
+
+// Segmenter splits unsegmented text into word and punctuation tokens
+// using forward maximum matching against a dictionary.
+//
+// A Segmenter is immutable after construction and safe for concurrent
+// use by multiple goroutines.
+type Segmenter struct {
+	dict    map[string]struct{}
+	maxLen  int // longest dictionary entry, in runes
+	minimum int
+}
+
+// NewSegmenter builds a Segmenter from the given vocabulary. Empty
+// entries are ignored. The segmenter works without a dictionary too, in
+// which case every CJK rune becomes its own token.
+func NewSegmenter(vocab []string) *Segmenter {
+	s := &Segmenter{dict: make(map[string]struct{}, len(vocab)), maxLen: 1}
+	for _, w := range vocab {
+		if w == "" {
+			continue
+		}
+		s.dict[w] = struct{}{}
+		if n := len([]rune(w)); n > s.maxLen {
+			s.maxLen = n
+		}
+	}
+	return s
+}
+
+// Contains reports whether w is a dictionary word.
+func (s *Segmenter) Contains(w string) bool {
+	_, ok := s.dict[w]
+	return ok
+}
+
+// DictSize returns the number of dictionary entries.
+func (s *Segmenter) DictSize() int { return len(s.dict) }
+
+// Segment splits text into tokens. Whitespace runs are skipped (no
+// KindSpace tokens are produced); use SegmentAll to keep them.
+func (s *Segmenter) Segment(text string) []Token {
+	all := s.segment(text, false)
+	return all
+}
+
+// SegmentAll splits text into tokens, keeping whitespace runs as
+// KindSpace tokens.
+func (s *Segmenter) SegmentAll(text string) []Token {
+	return s.segment(text, true)
+}
+
+// Words segments text and returns only the word tokens' text. This is
+// the common entry point for the feature extractor and the semantic
+// models: punctuation and whitespace are dropped.
+func (s *Segmenter) Words(text string) []string {
+	toks := s.segment(text, false)
+	words := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == KindWord {
+			words = append(words, t.Text)
+		}
+	}
+	return words
+}
+
+func (s *Segmenter) segment(text string, keepSpace bool) []Token {
+	runes := []rune(text)
+	toks := make([]Token, 0, len(runes)/2+1)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			j := i
+			for j < len(runes) && unicode.IsSpace(runes[j]) {
+				j++
+			}
+			if keepSpace {
+				toks = append(toks, Token{Text: string(runes[i:j]), Kind: KindSpace})
+			}
+			i = j
+		case IsPunct(r):
+			toks = append(toks, Token{Text: string(r), Kind: KindPunct})
+			i++
+		case isLatin(r):
+			j := i
+			for j < len(runes) && isLatin(runes[j]) {
+				j++
+			}
+			toks = append(toks, Token{Text: string(runes[i:j]), Kind: KindWord})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(runes) && unicode.IsDigit(runes[j]) {
+				j++
+			}
+			toks = append(toks, Token{Text: string(runes[i:j]), Kind: KindWord})
+			i = j
+		default:
+			// CJK (or anything else): forward maximum match.
+			matched := 1
+			limit := s.maxLen
+			if rem := len(runes) - i; rem < limit {
+				limit = rem
+			}
+			for l := limit; l >= 2; l-- {
+				if _, ok := s.dict[string(runes[i:i+l])]; ok {
+					matched = l
+					break
+				}
+			}
+			toks = append(toks, Token{Text: string(runes[i : i+matched]), Kind: KindWord})
+			i += matched
+		}
+	}
+	return toks
+}
+
+// punctSet lists CJK and ASCII punctuation commonly found in e-commerce
+// comments. unicode.IsPunct misses some full-width symbols (e.g. ～),
+// so the set is explicit and IsPunct unions it with the unicode tables.
+var punctSet = map[rune]struct{}{}
+
+func init() {
+	for _, r := range "，。！？；：、…—～·“”‘’（）《》【】,.!?;:()[]\"'~-*&%$#@^_+=<>/\\|" {
+		punctSet[r] = struct{}{}
+	}
+}
+
+// IsPunct reports whether r is punctuation or a symbol for the purposes
+// of the structural features (Fig 2 / averagePunctuationRatio).
+func IsPunct(r rune) bool {
+	if _, ok := punctSet[r]; ok {
+		return true
+	}
+	return unicode.IsPunct(r) || unicode.IsSymbol(r)
+}
+
+func isLatin(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+// CountPunct counts punctuation runes in text without segmenting.
+func CountPunct(text string) int {
+	n := 0
+	for _, r := range text {
+		if IsPunct(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// RuneLen returns the length of text in runes. The paper's comment
+// length distributions (Fig 4) are measured in characters, not bytes.
+func RuneLen(text string) int {
+	n := 0
+	for range text {
+		n++
+	}
+	return n
+}
+
+// JoinWords concatenates words with no separator, matching how Chinese
+// comments are written. Useful in tests and generators.
+func JoinWords(words []string) string {
+	var b strings.Builder
+	for _, w := range words {
+		b.WriteString(w)
+	}
+	return b.String()
+}

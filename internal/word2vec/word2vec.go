@@ -1,0 +1,360 @@
+// Package word2vec implements skip-gram word embeddings with negative
+// sampling (Mikolov et al. 2013), the model CATS' semantic analyzer
+// trains on a large comment corpus to expand seed words into the
+// positive/negative lexicons of Table I.
+//
+// This is a from-scratch stdlib-only reimplementation of the part of
+// TensorFlow's word2vec the paper used: vocabulary building with a
+// minimum count, a unigram^0.75 negative-sampling table, SGD with
+// linear learning-rate decay, and cosine-similarity nearest-neighbor
+// queries over the learned input vectors.
+package word2vec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds the training hyperparameters. The zero value is usable.
+type Config struct {
+	// Dim is the embedding dimensionality; <= 0 means 32.
+	Dim int
+	// Window is the max context offset; <= 0 means 4.
+	Window int
+	// Negative is the number of negative samples per target;
+	// <= 0 means 5.
+	Negative int
+	// Epochs is the number of passes over the corpus; <= 0 means 3.
+	Epochs int
+	// LearningRate is the starting SGD step, decayed linearly to 1e-4;
+	// <= 0 means 0.025.
+	LearningRate float64
+	// MinCount drops words rarer than this from the vocabulary;
+	// <= 0 means 3.
+	MinCount int
+	// SubsampleT enables Mikolov-style frequent-word subsampling: an
+	// occurrence of word w with corpus frequency f(w) is kept with
+	// probability min(1, sqrt(t/f(w)) + t/f(w)). Typical t is 1e-3 to
+	// 1e-5; 0 disables. Downsampling ubiquitous function words gives
+	// rarer content words more effective context.
+	SubsampleT float64
+	// Seed seeds initialization and sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Negative <= 0 {
+		c.Negative = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 3
+	}
+	return c
+}
+
+// Model is a trained skip-gram embedding model.
+type Model struct {
+	cfg    Config
+	vocab  map[string]int
+	words  []string
+	counts []int
+	in     [][]float64 // input vectors (the embeddings)
+	out    [][]float64 // output vectors
+	table  []int       // negative-sampling table
+}
+
+// ErrEmptyCorpus is returned by Train when no sentence survives the
+// vocabulary cut.
+var ErrEmptyCorpus = errors.New("word2vec: empty corpus after vocabulary cut")
+
+// Train fits a model on a corpus of pre-segmented sentences.
+func Train(corpus [][]string, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg, vocab: map[string]int{}}
+
+	// Vocabulary pass.
+	raw := map[string]int{}
+	for _, sent := range corpus {
+		for _, w := range sent {
+			raw[w]++
+		}
+	}
+	type wc struct {
+		w string
+		c int
+	}
+	var list []wc
+	for w, c := range raw {
+		if c >= cfg.MinCount {
+			list = append(list, wc{w, c})
+		}
+	}
+	if len(list) == 0 {
+		return nil, ErrEmptyCorpus
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].c != list[j].c {
+			return list[i].c > list[j].c
+		}
+		return list[i].w < list[j].w
+	})
+	for i, e := range list {
+		m.vocab[e.w] = i
+		m.words = append(m.words, e.w)
+		m.counts = append(m.counts, e.c)
+	}
+
+	// Encode corpus, applying frequent-word subsampling if enabled.
+	subRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	var keepProb []float64
+	if cfg.SubsampleT > 0 {
+		var corpusTokens float64
+		for _, c := range m.counts {
+			corpusTokens += float64(c)
+		}
+		keepProb = make([]float64, len(m.counts))
+		for i, c := range m.counts {
+			f := float64(c) / corpusTokens
+			p := math.Sqrt(cfg.SubsampleT/f) + cfg.SubsampleT/f
+			if p > 1 {
+				p = 1
+			}
+			keepProb[i] = p
+		}
+	}
+	var encoded [][]int
+	total := 0
+	for _, sent := range corpus {
+		var ids []int
+		for _, w := range sent {
+			id, ok := m.vocab[w]
+			if !ok {
+				continue
+			}
+			if keepProb != nil && subRng.Float64() > keepProb[id] {
+				continue
+			}
+			ids = append(ids, id)
+		}
+		if len(ids) >= 2 {
+			encoded = append(encoded, ids)
+			total += len(ids)
+		}
+	}
+	if total == 0 {
+		return nil, ErrEmptyCorpus
+	}
+
+	m.buildTable()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := len(m.words)
+	m.in = make([][]float64, v)
+	m.out = make([][]float64, v)
+	for i := 0; i < v; i++ {
+		m.in[i] = make([]float64, cfg.Dim)
+		m.out[i] = make([]float64, cfg.Dim)
+		for d := 0; d < cfg.Dim; d++ {
+			m.in[i][d] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+		}
+	}
+
+	steps := 0
+	totalSteps := cfg.Epochs * total
+	grad := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range encoded {
+			for pos, center := range sent {
+				lr := cfg.LearningRate * (1 - float64(steps)/float64(totalSteps+1))
+				if lr < 1e-4 {
+					lr = 1e-4
+				}
+				steps++
+				win := 1 + rng.Intn(cfg.Window)
+				for off := -win; off <= win; off++ {
+					ctxPos := pos + off
+					if off == 0 || ctxPos < 0 || ctxPos >= len(sent) {
+						continue
+					}
+					m.step(center, sent[ctxPos], lr, rng, grad)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// step performs one (center, context) SGD update with negative samples.
+func (m *Model) step(center, context int, lr float64, rng *rand.Rand, grad []float64) {
+	vin := m.in[center]
+	for d := range grad {
+		grad[d] = 0
+	}
+	// One positive plus Negative sampled negatives.
+	for k := 0; k <= m.cfg.Negative; k++ {
+		var target int
+		var label float64
+		if k == 0 {
+			target, label = context, 1
+		} else {
+			target = m.table[rng.Intn(len(m.table))]
+			if target == context {
+				continue
+			}
+			label = 0
+		}
+		vout := m.out[target]
+		var dot float64
+		for d := range vin {
+			dot += vin[d] * vout[d]
+		}
+		g := (sigmoid(dot) - label) * lr
+		for d := range vin {
+			grad[d] += g * vout[d]
+			vout[d] -= g * vin[d]
+		}
+	}
+	for d := range vin {
+		vin[d] -= grad[d]
+	}
+}
+
+func sigmoid(z float64) float64 {
+	if z > 8 {
+		return 1
+	}
+	if z < -8 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// buildTable constructs the unigram^0.75 negative-sampling table.
+func (m *Model) buildTable() {
+	const tableSize = 1 << 17
+	m.table = make([]int, 0, tableSize)
+	var z float64
+	pows := make([]float64, len(m.counts))
+	for i, c := range m.counts {
+		pows[i] = math.Pow(float64(c), 0.75)
+		z += pows[i]
+	}
+	for i, p := range pows {
+		n := int(p / z * tableSize)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			m.table = append(m.table, i)
+		}
+	}
+}
+
+// VocabSize returns the number of words in the model.
+func (m *Model) VocabSize() int { return len(m.words) }
+
+// Contains reports whether w is in the vocabulary.
+func (m *Model) Contains(w string) bool {
+	_, ok := m.vocab[w]
+	return ok
+}
+
+// Vector returns the embedding of w, or false if out of vocabulary. The
+// returned slice aliases model state; callers must not mutate it.
+func (m *Model) Vector(w string) ([]float64, bool) {
+	id, ok := m.vocab[w]
+	if !ok {
+		return nil, false
+	}
+	return m.in[id], true
+}
+
+// Similarity returns the cosine similarity of two words, or an error if
+// either is out of vocabulary.
+func (m *Model) Similarity(a, b string) (float64, error) {
+	va, ok := m.Vector(a)
+	if !ok {
+		return 0, fmt.Errorf("word2vec: %q not in vocabulary", a)
+	}
+	vb, ok := m.Vector(b)
+	if !ok {
+		return 0, fmt.Errorf("word2vec: %q not in vocabulary", b)
+	}
+	return cosine(va, vb), nil
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for d := range a {
+		dot += a[d] * b[d]
+		na += a[d] * a[d]
+		nb += b[d] * b[d]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Neighbor is a word with its cosine similarity to a query.
+type Neighbor struct {
+	Word string
+	Sim  float64
+}
+
+// Nearest returns the k nearest vocabulary words to w by cosine
+// similarity, excluding w itself. It returns nil if w is out of
+// vocabulary.
+func (m *Model) Nearest(w string, k int) []Neighbor {
+	vw, ok := m.Vector(w)
+	if !ok {
+		return nil
+	}
+	return m.nearestVec(vw, k, m.vocab[w])
+}
+
+func (m *Model) nearestVec(v []float64, k, exclude int) []Neighbor {
+	sims := make([]Neighbor, 0, len(m.words))
+	for i, word := range m.words {
+		if i == exclude {
+			continue
+		}
+		sims = append(sims, Neighbor{word, cosine(v, m.in[i])})
+	}
+	sort.Slice(sims, func(a, b int) bool {
+		if sims[a].Sim != sims[b].Sim {
+			return sims[a].Sim > sims[b].Sim
+		}
+		return sims[a].Word < sims[b].Word
+	})
+	if k < len(sims) {
+		sims = sims[:k]
+	}
+	return sims
+}
+
+// Words returns the vocabulary ordered by descending frequency.
+func (m *Model) Words() []string { return append([]string(nil), m.words...) }
+
+// Count returns the corpus frequency of w (0 if out of vocabulary).
+func (m *Model) Count(w string) int {
+	id, ok := m.vocab[w]
+	if !ok {
+		return 0
+	}
+	return m.counts[id]
+}

@@ -1,0 +1,58 @@
+package cats
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Save serializes the trained system (semantic analyzer, rule-filter
+// settings, and the fitted boosted-tree classifier) as JSON. Only
+// systems using the default XGBoost-style classifier can be saved.
+// vocabulary must be the segmenter dictionary used at Train time.
+func (s *System) Save(w io.Writer, vocabulary []string) error {
+	snap, err := s.detector.Snapshot(vocabulary, s.analyzer)
+	if err != nil {
+		return fmt.Errorf("cats: save: %w", err)
+	}
+	return core.WriteSnapshot(w, snap)
+}
+
+// SaveFile saves the system to path (see Save).
+func (s *System) SaveFile(path string, vocabulary []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cats: save: %w", err)
+	}
+	if err := s.Save(f, vocabulary); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a trained system saved with Save. The restored
+// system detects immediately; no retraining is needed.
+func Load(r io.Reader) (*System, error) {
+	snap, err := core.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("cats: load: %w", err)
+	}
+	det, analyzer, err := core.DetectorFromSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("cats: load: %w", err)
+	}
+	return &System{analyzer: analyzer, detector: det}, nil
+}
+
+// LoadFile loads a system from path (see Load).
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cats: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

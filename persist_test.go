@@ -1,0 +1,81 @@
+package cats
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/textgen"
+)
+
+func TestSystemSaveLoadRoundTrip(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	test := synth.Generate(synth.Config{
+		Name: "roundtrip", Seed: 81, FraudEvidence: 20, Normal: 60, Shops: 4,
+	})
+	before, err := sys.Detect(test.Dataset.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := restored.Detect(test.Dataset.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("detection %d differs after save/load: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+
+	// Feature importance survives too (Fig 7 from a shipped model).
+	imp, err := restored.FeatureImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 11 {
+		t.Fatalf("importance entries = %d", len(imp))
+	}
+}
+
+func TestSystemSaveLoadFile(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := sys.SaveFile(path, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synth.Generate(synth.Config{
+		Name: "file", Seed: 82, FraudEvidence: 5, Normal: 15, Shops: 2,
+	})
+	if _, err := restored.Detect(test.Dataset.Items); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("corrupt input should error")
+	}
+}
