@@ -14,12 +14,14 @@ package cats_test
 // EXPERIMENTS.md.
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/ecom"
 	"repro/internal/experiments"
 	"repro/internal/features"
@@ -422,6 +424,76 @@ func BenchmarkRobustnessSweep(b *testing.B) {
 	l := lab()
 	for i := 0; i < b.N; i++ {
 		if _, err := l.RobustnessSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFilterHeavyDetector builds a trained detector plus a synthetic
+// workload where ≥50% of items sit below the stage-one sales cutoff —
+// the deployment-shaped traffic profile where skipping feature
+// extraction for filtered items pays off.
+func benchFilterHeavyDetector(b *testing.B) (*core.Detector, []ecom.Item) {
+	b.Helper()
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(1000, 6)
+	analyzer, err := core.OracleAnalyzer(bank, texts, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.NewDetector(analyzer, core.DetectorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := synth.Generate(synth.Config{
+		Name: "fh-train", Seed: 30, FraudEvidence: 100, Normal: 160, Shops: 8,
+	})
+	if err := det.Train(&train.Dataset, 0); err != nil {
+		b.Fatal(err)
+	}
+	u := synth.Generate(synth.Config{
+		Name: "fh-detect", Seed: 31, FraudEvidence: 96, Normal: 288, Shops: 10,
+	})
+	items := make([]ecom.Item, len(u.Dataset.Items))
+	copy(items, u.Dataset.Items)
+	for i := range items {
+		if i%2 == 0 {
+			items[i].SalesVolume = 1 // below the default cutoff of 5
+		}
+	}
+	return det, items
+}
+
+func BenchmarkDetectFilterHeavy(b *testing.B) {
+	det, items := benchFilterHeavyDetector(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(items, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectStreamFilterHeavy(b *testing.B) {
+	det, items := benchFilterHeavyDetector(b)
+	var buf bytes.Buffer
+	w := dataset.NewWriter(&buf)
+	for i := range items {
+		if err := w.Write(&items[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := dataset.NewReader(bytes.NewReader(buf.Bytes()))
+		_, err := det.DetectStream(context.Background(), r, core.StreamOptions{BatchSize: 128},
+			func(*ecom.Item, core.Detection) error { return nil })
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

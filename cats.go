@@ -35,11 +35,13 @@ package cats
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/dataset"
 	"repro/internal/ecom"
 	"repro/internal/features"
 	"repro/internal/ml"
@@ -61,6 +63,8 @@ type (
 	Detection = core.Detection
 	// ClassifierKind selects the detector's classifier.
 	ClassifierKind = core.ClassifierKind
+	// StreamStats summarizes a DetectStream run.
+	StreamStats = core.StreamStats
 )
 
 // Label values.
@@ -164,9 +168,27 @@ func (s *System) Analyzer() *core.Analyzer { return s.analyzer }
 func (s *System) Detector() *core.Detector { return s.detector }
 
 // Detect scores items: stage-one rule filtering, then classifier
-// probabilities over the 11 features.
+// probabilities over the 11 features. The rule filter runs before
+// feature extraction, so items below the sales cutoff never touch the
+// segmenter.
 func (s *System) Detect(items []Item) ([]Detection, error) {
 	return s.detector.Detect(items, s.workers)
+}
+
+// DetectContext is Detect with cancellation: a canceled ctx stops the
+// batch early and returns the context's error.
+func (s *System) DetectContext(ctx context.Context, items []Item) ([]Detection, error) {
+	return s.detector.DetectContext(ctx, items, s.workers)
+}
+
+// DetectStream scores a JSONL stream of items (one Item per line) in
+// batches without materializing the dataset, honoring the system's
+// configured worker count — the path for larger-than-memory runs.
+// batchSize <= 0 means 1024. emit receives each item and its detection
+// in input order; a non-nil error from emit aborts the stream.
+func (s *System) DetectStream(ctx context.Context, r io.Reader, batchSize int, emit func(*Item, Detection) error) (StreamStats, error) {
+	return s.detector.DetectStream(ctx, dataset.NewReader(r),
+		core.StreamOptions{BatchSize: batchSize, Workers: s.workers}, emit)
 }
 
 // DetectItem scores a single item.

@@ -3,12 +3,14 @@ package cats
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/platform"
 	"repro/internal/synth"
 	"repro/internal/textgen"
@@ -328,5 +330,81 @@ func TestExplain(t *testing.T) {
 	}
 	if exp[0].Splits == 0 {
 		t.Fatal("top feature consulted zero times")
+	}
+}
+
+// TestDetectStreamPublicAPI: the public streaming entry point must
+// agree with batch Detect on every item and report accurate counts.
+func TestDetectStreamPublicAPI(t *testing.T) {
+	sys := trainSystem(t)
+	test := synth.Generate(synth.Config{
+		Name: "stream", Seed: 55, FraudEvidence: 30, Normal: 60, Shops: 4,
+	})
+	items := test.Dataset.Items
+	for i := range items {
+		if i%4 == 0 {
+			items[i].SalesVolume = 1 // exercise the sales cutoff in-stream
+		}
+	}
+	want, err := sys.Detect(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w := dataset.NewWriter(&buf)
+	for i := range items {
+		if err := w.Write(&items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Detection
+	stats, err := sys.DetectStream(context.Background(), &buf, 16, func(item *Item, d Detection) error {
+		if item.ID != d.ItemID {
+			t.Fatalf("emit pairing mismatch: item %s, detection %s", item.ID, d.ItemID)
+		}
+		got = append(got, d)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Items != len(items) {
+		t.Fatalf("stats.Items = %d, want %d", stats.Items, len(items))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d detections, want %d", len(got), len(want))
+	}
+	reported := 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("detection %d: stream %+v != batch %+v", i, got[i], want[i])
+		}
+		if got[i].IsFraud {
+			reported++
+		}
+	}
+	if stats.Reported != reported {
+		t.Fatalf("stats.Reported = %d, want %d", stats.Reported, reported)
+	}
+
+	// emit errors abort the stream.
+	buf.Reset()
+	w = dataset.NewWriter(&buf)
+	for i := range items {
+		if err := w.Write(&items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = sys.DetectStream(context.Background(), &buf, 16, func(*Item, Detection) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit error not propagated: %v", err)
 	}
 }

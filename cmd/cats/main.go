@@ -52,10 +52,11 @@ func run(trainPath, detectPath, clf string, threshold float64, corpusSize int, o
 	if detectPath == "" {
 		return fmt.Errorf("-detect is required")
 	}
-	toScore, err := dataset.ReadAll(detectPath)
+	toScore, err := os.Open(detectPath)
 	if err != nil {
-		return fmt.Errorf("read detection set: %w", err)
+		return fmt.Errorf("open detection set: %w", err)
 	}
+	defer toScore.Close()
 
 	var sys *cats.System
 	bank := textgen.NewBank()
@@ -94,11 +95,6 @@ func run(trainPath, detectPath, clf string, threshold float64, corpusSize int, o
 		fmt.Fprintf(os.Stderr, "cats: saved model to %s\n", savePath)
 	}
 
-	dets, err := sys.Detect(toScore.Items)
-	if err != nil {
-		return fmt.Errorf("detect: %w", err)
-	}
-
 	var w io.Writer = os.Stdout
 	if outPath != "-" {
 		f, err := os.Create(outPath)
@@ -111,30 +107,37 @@ func run(trainPath, detectPath, clf string, threshold float64, corpusSize int, o
 	bw := bufio.NewWriter(w)
 	defer bw.Flush()
 	fmt.Fprintln(bw, "item_id\tscore\tfraud\tfiltered")
-	reported := 0
-	for _, d := range dets {
-		if d.IsFraud {
-			reported++
+
+	// Stream the detection set through the fused pipeline: detections
+	// are written as they are scored, the dataset is never materialized,
+	// and the configured worker count applies. Ground-truth labels (when
+	// present) feed the evaluation as they stream past.
+	var c eval.Confusion
+	labeledFraud := 0
+	stats, err := sys.DetectStream(context.Background(), toScore, 0, func(item *cats.Item, d cats.Detection) error {
+		if _, err := fmt.Fprintf(bw, "%s\t%.4f\t%v\t%v\n", d.ItemID, d.Score, d.IsFraud, d.Filtered); err != nil {
+			return err
 		}
-		fmt.Fprintf(bw, "%s\t%.4f\t%v\t%v\n", d.ItemID, d.Score, d.IsFraud, d.Filtered)
+		truth := 0
+		if item.Label.IsFraud() {
+			truth = 1
+			labeledFraud++
+		}
+		pred := 0
+		if d.IsFraud {
+			pred = 1
+		}
+		c.Add(truth, pred)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("detect: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "cats: scored %d items, reported %d fraud\n", len(dets), reported)
+	fmt.Fprintf(os.Stderr, "cats: scored %d items, reported %d fraud\n", stats.Items, stats.Reported)
 
 	// When the detection set carries ground-truth labels (synthetic or
 	// curated data), report evaluation metrics too.
-	if s := toScore.Stats(); s.FraudItems > 0 {
-		var c eval.Confusion
-		for i, d := range dets {
-			truth := 0
-			if toScore.Items[i].Label.IsFraud() {
-				truth = 1
-			}
-			pred := 0
-			if d.IsFraud {
-				pred = 1
-			}
-			c.Add(truth, pred)
-		}
+	if labeledFraud > 0 {
 		m := eval.FromConfusion(c)
 		fmt.Fprintf(os.Stderr, "cats: labeled evaluation: %s\n", m)
 	}

@@ -6,7 +6,7 @@
 //
 //	catsbench [-exp all|table1|table3|table4|table5|table6|
 //	           fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig10|fig11|fig12|fig13|
-//	           eplatform|riskyusers|
+//	           eplatform|riskyusers|throughput|
 //	           filterablation|featureablation|lexiconablation|gbtablation]
 //	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
 //
@@ -52,7 +52,7 @@ var experimentOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "appendix",
 	"fig10", "fig11", "fig12", "fig13",
 	"eplatform", "riskyusers", "timeaspect", "deployment", "thresholdsweep", "robustness",
-	"learningcurve", "roundscurve",
+	"learningcurve", "roundscurve", "throughput",
 	"filterablation", "featureablation", "lexiconablation", "gbtablation",
 }
 
@@ -119,6 +119,8 @@ func run(lab *experiments.Lab, exp string) error {
 		out, err = lab.LearningCurve()
 	case "roundscurve":
 		out, err = lab.RoundsCurve()
+	case "throughput":
+		out, err = lab.Throughput()
 	case "filterablation":
 		out, err = lab.FilterAblation()
 	case "featureablation":

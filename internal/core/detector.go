@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/ecom"
 	"repro/internal/features"
@@ -161,11 +164,20 @@ func (d *Detector) Explain(item *ecom.Item) ([]gbt.Importance, error) {
 	if !d.trained {
 		return nil, ErrNotTrained
 	}
+	return d.ExplainVector(d.extractor.Vector(item))
+}
+
+// ExplainVector is Explain for a feature vector the caller already has
+// (e.g. from DetectItemWithFeatures), avoiding a second extraction.
+func (d *Detector) ExplainVector(v []float64) ([]gbt.Importance, error) {
+	if !d.trained {
+		return nil, ErrNotTrained
+	}
 	g, ok := d.clf.(*gbt.Classifier)
 	if !ok {
 		return nil, fmt.Errorf("core: classifier %T has no decision-path explanation", d.clf)
 	}
-	return g.DecisionPathFeatures(d.extractor.Vector(item))
+	return g.DecisionPathFeatures(v)
 }
 
 // Train fits the classifier on a labeled dataset (the paper pre-trains
@@ -203,37 +215,120 @@ type Detection struct {
 	Filtered bool    // removed by the stage-one rule filter
 }
 
-// DetectItem scores a single item. Filtered items get Score 0.
-func (d *Detector) DetectItem(item *ecom.Item) (Detection, error) {
-	if !d.trained {
-		return Detection{}, ErrNotTrained
-	}
+// scoreOne fuses filter, feature extraction and scoring for one item
+// from a single analysis pass per comment. The sales cutoff is checked
+// before any text is touched, so items below it cost no segmentation at
+// all; surviving items are analyzed once and the same artifact answers
+// both the positive-signal rule and the 11-feature vector.
+//
+// The returned vector is nil when features were never computed (the
+// item fell to the sales cutoff); filtered-by-signal items still return
+// their vector since the analysis had to run to prove the absence of a
+// positive signal.
+func (d *Detector) scoreOne(item *ecom.Item) (Detection, []float64) {
 	det := Detection{ItemID: item.ID}
-	if !d.PassesFilter(item) {
+	if !d.cfg.DisableRuleFilter && item.SalesVolume < d.cfg.MinSalesVolume {
 		det.Filtered = true
 		return det, nil
 	}
-	det.Score = d.clf.PredictProba(d.extractor.Vector(item))
+	a := d.extractor.AnalyzeItem(item)
+	v := a.Vector()
+	if !d.cfg.DisableRuleFilter && !a.HasPositiveSignal() {
+		det.Filtered = true
+		return det, v
+	}
+	det.Score = d.clf.PredictProba(v)
 	det.IsFraud = det.Score >= d.cfg.Threshold
-	return det, nil
+	return det, v
 }
 
-// Detect scores every item, applying the rule filter first. workers
-// <= 0 uses GOMAXPROCS for feature extraction.
-func (d *Detector) Detect(items []ecom.Item, workers int) ([]Detection, error) {
+// scoreBatch runs scoreOne over items with a worker pool, preserving
+// item order. workers <= 0 uses GOMAXPROCS. Cancellation of ctx stops
+// dispatching new items and returns the context's error.
+func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers int) ([]Detection, [][]float64, error) {
 	if !d.trained {
-		return nil, ErrNotTrained
+		return nil, nil, ErrNotTrained
 	}
-	X := d.extractor.ExtractDataset(items, workers)
-	out := make([]Detection, len(items))
-	for i := range items {
-		out[i] = Detection{ItemID: items[i].ID}
-		if !d.PassesFilter(&items[i]) {
-			out[i].Filtered = true
-			continue
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	dets := make([]Detection, len(items))
+	X := make([][]float64, len(items))
+	if workers <= 1 {
+		for i := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			dets[i], X[i] = d.scoreOne(&items[i])
 		}
-		out[i].Score = d.clf.PredictProba(X[i])
-		out[i].IsFraud = out[i].Score >= d.cfg.Threshold
+		return dets, X, nil
 	}
-	return out, nil
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				dets[i], X[i] = d.scoreOne(&items[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range items {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return dets, X, nil
+}
+
+// DetectItem scores a single item. Filtered items get Score 0.
+func (d *Detector) DetectItem(item *ecom.Item) (Detection, error) {
+	det, _, err := d.DetectItemWithFeatures(item)
+	return det, err
+}
+
+// DetectItemWithFeatures scores a single item and also returns the
+// feature vector computed along the way, so callers needing both (e.g.
+// the service's /v1/explain) pay for one analysis pass. The vector is
+// nil when the item fell to the sales cutoff before extraction.
+func (d *Detector) DetectItemWithFeatures(item *ecom.Item) (Detection, []float64, error) {
+	if !d.trained {
+		return Detection{}, nil, ErrNotTrained
+	}
+	det, v := d.scoreOne(item)
+	return det, v, nil
+}
+
+// Detect scores every item, applying the rule filter before paying for
+// feature extraction. workers <= 0 uses GOMAXPROCS.
+func (d *Detector) Detect(items []ecom.Item, workers int) ([]Detection, error) {
+	return d.DetectContext(context.Background(), items, workers)
+}
+
+// DetectContext is Detect with cancellation: when ctx is canceled the
+// batch stops early and the context's error is returned.
+func (d *Detector) DetectContext(ctx context.Context, items []ecom.Item, workers int) ([]Detection, error) {
+	dets, _, err := d.scoreBatch(ctx, items, workers)
+	return dets, err
+}
+
+// DetectWithFeatures scores every item and returns the feature matrix
+// computed along the way. X[i] is nil when item i was dropped by the
+// sales cutoff before extraction; every other row is the item's
+// 11-feature vector, so monitoring (e.g. the service's drift recorder)
+// can consume the vectors without a second extraction pass.
+func (d *Detector) DetectWithFeatures(ctx context.Context, items []ecom.Item, workers int) ([]Detection, [][]float64, error) {
+	return d.scoreBatch(ctx, items, workers)
 }

@@ -1,11 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/ecom"
@@ -18,53 +17,48 @@ type StreamStats struct {
 	Filtered int
 }
 
+// StreamOptions tunes DetectStream.
+type StreamOptions struct {
+	// BatchSize is the number of items scored per flush; <= 0 means 1024.
+	BatchSize int
+	// Workers bounds per-batch scoring parallelism; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1024
+	}
+	return o
+}
+
 // DetectStream scores items from a JSONL reader without materializing
-// the dataset: items are read in batches, features are extracted in
-// parallel, and each detection is handed to emit in input order. This
-// is the path for full-scale runs (the paper's D1 has 1.48M items and
-// 72M comments — far beyond comfortable in-memory slices).
+// the dataset: items are read in batches, each batch runs through the
+// fused filter→feature→score pipeline in parallel, and each detection
+// is handed to emit in input order. This is the path for full-scale
+// runs (the paper's D1 has 1.48M items and 72M comments — far beyond
+// comfortable in-memory slices).
 //
-// emit must not retain the Detection pointer past its call. A non-nil
-// error from emit aborts the stream.
-func (d *Detector) DetectStream(r *dataset.Reader, batchSize int, emit func(*ecom.Item, Detection) error) (StreamStats, error) {
+// Cancellation of ctx aborts between (and within) batches with the
+// context's error. emit must not retain the Detection pointer past its
+// call. A non-nil error from emit aborts the stream.
+func (d *Detector) DetectStream(ctx context.Context, r *dataset.Reader, opts StreamOptions, emit func(*ecom.Item, Detection) error) (StreamStats, error) {
 	var stats StreamStats
 	if !d.trained {
 		return stats, ErrNotTrained
 	}
-	if batchSize <= 0 {
-		batchSize = 1024
-	}
-	workers := runtime.GOMAXPROCS(0)
-	batch := make([]ecom.Item, 0, batchSize)
+	opts = opts.withDefaults()
+	batch := make([]ecom.Item, 0, opts.BatchSize)
 
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		dets := make([]Detection, len(batch))
-		var wg sync.WaitGroup
-		ch := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range ch {
-					det := Detection{ItemID: batch[i].ID}
-					if !d.PassesFilter(&batch[i]) {
-						det.Filtered = true
-					} else {
-						det.Score = d.clf.PredictProba(d.extractor.Vector(&batch[i]))
-						det.IsFraud = det.Score >= d.cfg.Threshold
-					}
-					dets[i] = det
-				}
-			}()
+		dets, _, err := d.scoreBatch(ctx, batch, opts.Workers)
+		if err != nil {
+			return err
 		}
-		for i := range batch {
-			ch <- i
-		}
-		close(ch)
-		wg.Wait()
 		for i := range batch {
 			stats.Items++
 			if dets[i].Filtered {
@@ -90,7 +84,7 @@ func (d *Detector) DetectStream(r *dataset.Reader, batchSize int, emit func(*eco
 			return stats, fmt.Errorf("core: stream read: %w", err)
 		}
 		batch = append(batch, *item)
-		if len(batch) >= batchSize {
+		if len(batch) >= opts.BatchSize {
 			if err := flush(); err != nil {
 				return stats, err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -32,7 +33,7 @@ func TestDetectStreamMatchesBatch(t *testing.T) {
 	}
 	defer r.Close()
 	var got []Detection
-	stats, err := d.DetectStream(r, 16, func(item *ecom.Item, det Detection) error {
+	stats, err := d.DetectStream(context.Background(), r, StreamOptions{BatchSize: 16}, func(item *ecom.Item, det Detection) error {
 		if item.ID != det.ItemID {
 			t.Fatalf("item/detection mismatch: %s vs %s", item.ID, det.ItemID)
 		}
@@ -76,7 +77,7 @@ func TestDetectStreamEmitError(t *testing.T) {
 	}
 	defer r.Close()
 	sentinel := errors.New("downstream full")
-	_, err = d.DetectStream(r, 8, func(*ecom.Item, Detection) error { return sentinel })
+	_, err = d.DetectStream(context.Background(), r, StreamOptions{BatchSize: 8}, func(*ecom.Item, Detection) error { return sentinel })
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want wrapped sentinel", err)
 	}
@@ -92,7 +93,7 @@ func TestDetectStreamUntrained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.DetectStream(nil, 0, nil); !errors.Is(err, ErrNotTrained) {
+	if _, err := d.DetectStream(context.Background(), nil, StreamOptions{}, nil); !errors.Is(err, ErrNotTrained) {
 		t.Fatalf("err = %v, want ErrNotTrained", err)
 	}
 }

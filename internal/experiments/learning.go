@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -127,7 +128,12 @@ func (l *Lab) RoundsCurve() (*RoundsCurveResult, error) {
 		return nil, fmt.Errorf("roundscurve: classifier is %T, want boosted trees", det.Classifier())
 	}
 	items := l.D1().Dataset.Items
-	X := det.Extractor().ExtractDataset(items, l.cfg.Workers)
+	// One fused pass yields both the filter decisions and the feature
+	// matrix for every staged evaluation below.
+	dets, X, err := det.DetectWithFeatures(context.Background(), items, l.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	res := &RoundsCurveResult{}
 	for _, rounds := range []int{5, 20, 50, 100, g.NumTrees()} {
 		if rounds > g.NumTrees() {
@@ -135,7 +141,7 @@ func (l *Lab) RoundsCurve() (*RoundsCurveResult, error) {
 		}
 		var c eval.Confusion
 		for i := range items {
-			if !det.PassesFilter(&items[i]) {
+			if dets[i].Filtered {
 				c.Add(boolToInt(items[i].Label.IsFraud()), 0)
 				continue
 			}

@@ -1,0 +1,186 @@
+// Comment-analysis layer: the compute-once artifacts behind the fused
+// tokenize → filter → features → score pipeline.
+//
+// Everything the detection stack derives from a comment's text — the
+// word sequence, lexicon hits, positive 2-grams, entropy, sentiment,
+// rune length and punctuation count — falls out of one segmentation
+// pass captured in a CommentAnalysis. An ItemAnalysis aggregates the
+// per-comment artifacts in comment order so the 11-feature Vector, the
+// stage-one positive-signal filter decision, and the Figs 2–5
+// CommentStructure are all field reads (or pure arithmetic) over data
+// that was computed exactly once.
+package features
+
+import (
+	"repro/internal/ecom"
+	"repro/internal/stats"
+	"repro/internal/tokenize"
+)
+
+// CommentAnalysis holds every measurement of one comment the detection
+// stack consumes, computed in a single segmentation pass.
+type CommentAnalysis struct {
+	// Words is the comment's word-token sequence (punctuation and
+	// whitespace dropped), as Segmenter.Words would return.
+	Words []string
+	// PositiveHits and NegativeHits count lexicon membership over Words.
+	PositiveHits int
+	NegativeHits int
+	// PositiveGrams counts adjacent word pairs with at least one
+	// positive word ("positive 2-grams").
+	PositiveGrams int
+	// DistinctWords is the number of distinct entries in Words.
+	DistinctWords int
+	// Entropy is stats.EntropyOfWords(Words).
+	Entropy float64
+	// Sentiment is the sentiment model's score of Words.
+	Sentiment float64
+	// RuneLength is the comment length in runes (Fig 4 measures
+	// characters, not bytes).
+	RuneLength int
+	// PunctCount is the number of punctuation runes (Fig 2).
+	PunctCount int
+}
+
+// HasPositiveSignal reports whether the comment contributes a positive
+// word or positive 2-gram — the unit of the detector's stage-one rule.
+func (c *CommentAnalysis) HasPositiveSignal() bool {
+	return c.PositiveHits > 0 || c.PositiveGrams > 0
+}
+
+// Structure converts the analysis into the per-comment structural
+// record behind Figs 2–5.
+func (c *CommentAnalysis) Structure() CommentStructure {
+	cs := CommentStructure{
+		PunctCount: c.PunctCount,
+		Entropy:    c.Entropy,
+		RuneLength: c.RuneLength,
+		Sentiment:  c.Sentiment,
+	}
+	if len(c.Words) > 0 {
+		cs.UniqueWordRatio = float64(c.DistinctWords) / float64(len(c.Words))
+	}
+	return cs
+}
+
+// AnalyzeComment measures one comment in a single segmentation pass.
+// Rune length and punctuation count are recovered from the token stream
+// (every punctuation rune is its own token and whitespace runs are kept)
+// so the raw text is scanned exactly once.
+func (e *Extractor) AnalyzeComment(content string) CommentAnalysis {
+	toks := e.seg.SegmentAll(content)
+	var ca CommentAnalysis
+	words := make([]string, 0, len(toks))
+	for _, t := range toks {
+		ca.RuneLength += tokenize.RuneLen(t.Text)
+		switch t.Kind {
+		case tokenize.KindWord:
+			words = append(words, t.Text)
+		case tokenize.KindPunct:
+			ca.PunctCount++
+		}
+	}
+	ca.Words = words
+	for wi, w := range words {
+		if e.pos.Contains(w) {
+			ca.PositiveHits++
+		}
+		if e.neg.Contains(w) {
+			ca.NegativeHits++
+		}
+		if wi+1 < len(words) && e.isPositiveGram(w, words[wi+1]) {
+			ca.PositiveGrams++
+		}
+	}
+	ca.Entropy, ca.DistinctWords = stats.EntropyAndDistinct(words)
+	ca.Sentiment = e.sent.Score(words)
+	return ca
+}
+
+// ItemAnalysis aggregates an item's per-comment analyses. The running
+// sums are accumulated in comment order with exactly the operations the
+// pre-fusion extractor used, so Vector is bit-for-bit identical to the
+// historical per-item recomputation.
+type ItemAnalysis struct {
+	// Comments holds the per-comment artifacts in input order.
+	Comments []CommentAnalysis
+
+	posTotal      float64 // Σ_j |C_j ∩ P|
+	posNegDiff    float64 // Σ_j ‖|C_j∩P| − |C_j∩N|‖
+	ngramTotal    float64 // Σ_j Σ_t δ(2-gram ∈ G)
+	ngramRatioSum float64
+	sentSum       float64
+	entropySum    float64
+	lenSum        float64
+	punctSum      float64
+	punctRatioSum float64
+	wordTotal     int
+	distinctWords int
+	hasPositive   bool
+}
+
+// AnalyzeItem analyzes every comment of an item, segmenting each
+// exactly once.
+func (e *Extractor) AnalyzeItem(item *ecom.Item) *ItemAnalysis {
+	a := &ItemAnalysis{Comments: make([]CommentAnalysis, 0, len(item.Comments))}
+	uniq := make(map[string]struct{})
+	for i := range item.Comments {
+		a.add(e.AnalyzeComment(item.Comments[i].Content), uniq)
+	}
+	a.distinctWords = len(uniq)
+	return a
+}
+
+// add folds one comment's analysis into the item aggregates.
+func (a *ItemAnalysis) add(ca CommentAnalysis, uniq map[string]struct{}) {
+	for _, w := range ca.Words {
+		uniq[w] = struct{}{}
+	}
+	a.wordTotal += len(ca.Words)
+	a.posTotal += float64(ca.PositiveHits)
+	a.posNegDiff += abs(float64(ca.PositiveHits) - float64(ca.NegativeHits))
+	a.ngramTotal += float64(ca.PositiveGrams)
+	if len(ca.Words) > 1 {
+		a.ngramRatioSum += float64(ca.PositiveGrams) / float64(len(ca.Words)-1)
+	}
+	a.sentSum += ca.Sentiment
+	a.entropySum += ca.Entropy
+	a.lenSum += float64(ca.RuneLength)
+	a.punctSum += float64(ca.PunctCount)
+	if ca.RuneLength > 0 {
+		a.punctRatioSum += float64(ca.PunctCount) / float64(ca.RuneLength)
+	}
+	if ca.HasPositiveSignal() {
+		a.hasPositive = true
+	}
+	a.Comments = append(a.Comments, ca)
+}
+
+// HasPositiveSignal reports whether any comment carries a positive word
+// or positive 2-gram — the detector's stage-one rule as a field read.
+func (a *ItemAnalysis) HasPositiveSignal() bool { return a.hasPositive }
+
+// Vector assembles the 11-feature vector (Table II order) from the
+// aggregates. Items with no comments get a zero vector.
+func (a *ItemAnalysis) Vector() []float64 {
+	v := make([]float64, NumFeatures)
+	nc := len(a.Comments)
+	if nc == 0 {
+		return v
+	}
+	fn := float64(nc)
+	v[AveragePositiveNumber] = a.posTotal / fn
+	v[AveragePosNegNumber] = a.posNegDiff / fn
+	if a.wordTotal > 0 {
+		v[UniqueWordRatio] = float64(a.distinctWords) / float64(a.wordTotal)
+	}
+	v[AverageSentiment] = a.sentSum / fn
+	v[AverageCommentEntropy] = a.entropySum / fn
+	v[AverageCommentLength] = a.lenSum / fn
+	v[SumCommentLength] = a.lenSum
+	v[SumPunctuationNumber] = a.punctSum
+	v[AveragePunctuationRatio] = a.punctRatioSum / fn
+	v[AverageNgramNumber] = a.ngramTotal / fn
+	v[AverageNgramRatio] = a.ngramRatioSum / fn
+	return v
+}

@@ -22,7 +22,6 @@ import (
 	"repro/internal/ecom"
 	"repro/internal/lexicon"
 	"repro/internal/sentiment"
-	"repro/internal/stats"
 	"repro/internal/tokenize"
 )
 
@@ -78,83 +77,20 @@ func NewExtractor(seg *tokenize.Segmenter, pos, neg *lexicon.Set, sent *sentimen
 // PositiveSet returns the extractor's positive lexicon.
 func (e *Extractor) PositiveSet() *lexicon.Set { return e.pos }
 
+// Segmenter returns the extractor's word segmenter. Its call counter
+// lets callers verify how many segmentation passes a pipeline ran.
+func (e *Extractor) Segmenter() *tokenize.Segmenter { return e.seg }
+
 // NegativeSet returns the extractor's negative lexicon.
 func (e *Extractor) NegativeSet() *lexicon.Set { return e.neg }
 
 // Vector computes the 11-feature vector for one item. Items with no
 // comments get a zero vector (they are normally removed earlier by the
-// detector's rule filter).
+// detector's rule filter). Callers that also need the filter decision
+// or per-comment structure should use AnalyzeItem and derive all three
+// from the one analysis pass.
 func (e *Extractor) Vector(item *ecom.Item) []float64 {
-	v := make([]float64, NumFeatures)
-	nc := len(item.Comments)
-	if nc == 0 {
-		return v
-	}
-
-	var (
-		posTotal      float64 // Σ_j |C_j ∩ P|
-		posNegDiff    float64 // Σ_j ‖|C_j∩P| − |C_j∩N|‖
-		ngramTotal    float64 // Σ_j Σ_t δ(2-gram ∈ G)
-		ngramRatioSum float64
-		sentSum       float64
-		entropySum    float64
-		lenSum        float64
-		punctSum      float64
-		punctRatioSum float64
-		wordTotal     int
-	)
-	uniq := map[string]struct{}{}
-
-	for i := range item.Comments {
-		content := item.Comments[i].Content
-		words := e.seg.Words(content)
-		runeLen := tokenize.RuneLen(content)
-		punct := tokenize.CountPunct(content)
-
-		var pc, ncnt, grams int
-		for wi, w := range words {
-			if e.pos.Contains(w) {
-				pc++
-			}
-			if e.neg.Contains(w) {
-				ncnt++
-			}
-			if wi+1 < len(words) && e.isPositiveGram(w, words[wi+1]) {
-				grams++
-			}
-			uniq[w] = struct{}{}
-		}
-		wordTotal += len(words)
-		posTotal += float64(pc)
-		posNegDiff += abs(float64(pc) - float64(ncnt))
-		ngramTotal += float64(grams)
-		if len(words) > 1 {
-			ngramRatioSum += float64(grams) / float64(len(words)-1)
-		}
-		sentSum += e.sent.Score(words)
-		entropySum += stats.EntropyOfWords(words)
-		lenSum += float64(runeLen)
-		punctSum += float64(punct)
-		if runeLen > 0 {
-			punctRatioSum += float64(punct) / float64(runeLen)
-		}
-	}
-
-	fn := float64(nc)
-	v[AveragePositiveNumber] = posTotal / fn
-	v[AveragePosNegNumber] = posNegDiff / fn
-	if wordTotal > 0 {
-		v[UniqueWordRatio] = float64(len(uniq)) / float64(wordTotal)
-	}
-	v[AverageSentiment] = sentSum / fn
-	v[AverageCommentEntropy] = entropySum / fn
-	v[AverageCommentLength] = lenSum / fn
-	v[SumCommentLength] = lenSum
-	v[SumPunctuationNumber] = punctSum
-	v[AveragePunctuationRatio] = punctRatioSum / fn
-	v[AverageNgramNumber] = ngramTotal / fn
-	v[AverageNgramRatio] = ngramRatioSum / fn
-	return v
+	return e.AnalyzeItem(item).Vector()
 }
 
 // isPositiveGram reports whether (a, b) is a positive 2-gram: "at least
@@ -166,6 +102,12 @@ func (e *Extractor) isPositiveGram(a, b string) bool {
 // HasPositiveSignal reports whether the item contains at least one
 // positive word or positive 2-gram across its comments — the detector's
 // rule filter drops items with none.
+//
+// This is the filter-only fast path: it stops at the first positive
+// word (a positive 2-gram implies one), segmenting each comment at most
+// once. Detection paths that go on to extract features should instead
+// read ItemAnalysis.HasPositiveSignal so the same segmentation pass
+// also feeds the feature vector.
 func (e *Extractor) HasPositiveSignal(item *ecom.Item) bool {
 	for i := range item.Comments {
 		words := e.seg.Words(item.Comments[i].Content)
@@ -215,23 +157,10 @@ type CommentStructure struct {
 	Sentiment       float64
 }
 
-// CommentStructure measures one comment.
+// CommentStructure measures one comment in one segmentation pass.
 func (e *Extractor) CommentStructure(content string) CommentStructure {
-	words := e.seg.Words(content)
-	cs := CommentStructure{
-		PunctCount: tokenize.CountPunct(content),
-		Entropy:    stats.EntropyOfWords(words),
-		RuneLength: tokenize.RuneLen(content),
-		Sentiment:  e.sent.Score(words),
-	}
-	if len(words) > 0 {
-		uniq := map[string]struct{}{}
-		for _, w := range words {
-			uniq[w] = struct{}{}
-		}
-		cs.UniqueWordRatio = float64(len(uniq)) / float64(len(words))
-	}
-	return cs
+	ca := e.AnalyzeComment(content)
+	return ca.Structure()
 }
 
 func abs(x float64) float64 {

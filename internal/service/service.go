@@ -164,13 +164,26 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d items exceeds the %d-item limit", len(req.Items), s.opts.MaxItems))
 		return
 	}
-	dets, err := s.detector.Detect(req.Items, s.opts.Workers)
+	// One fused pass: the detector returns the feature matrix it
+	// computed while scoring, so drift recording costs no re-extraction.
+	dets, X, err := s.detector.DetectWithFeatures(r.Context(), req.Items, s.opts.Workers)
 	if err != nil {
+		if r.Context().Err() != nil {
+			return // client went away; nobody is listening
+		}
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if s.opts.TrainingSample != nil {
-		s.recordDrift(s.detector.Extractor().ExtractDataset(req.Items, s.opts.Workers))
+		// Rows are nil for items the sales cutoff dropped before
+		// extraction; drift tracks the distribution of analyzed traffic.
+		vectors := X[:0]
+		for _, v := range X {
+			if v != nil {
+				vectors = append(vectors, v)
+			}
+		}
+		s.recordDrift(vectors)
 	}
 	resp := DetectResponse{Detections: make([]DetectionDTO, len(dets))}
 	for i, d := range dets {
@@ -209,12 +222,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
 		return
 	}
-	det, err := s.detector.DetectItem(&req.Item)
+	det, vec, err := s.detector.DetectItemWithFeatures(&req.Item)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	exp, err := s.detector.Explain(&req.Item)
+	if vec == nil {
+		// Sales-filtered items skip extraction in the fused pipeline,
+		// but /v1/explain promises the vector; compute it on demand.
+		vec = s.detector.Extractor().Vector(&req.Item)
+	}
+	exp, err := s.detector.ExplainVector(vec)
 	if err != nil {
 		writeError(w, http.StatusNotImplemented, err.Error())
 		return
@@ -222,7 +240,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ExplainResponse{
 		Detection: DetectionDTO{ItemID: det.ItemID, Score: det.Score, IsFraud: det.IsFraud, Filtered: det.Filtered},
 		Features:  exp,
-		Vector:    s.detector.Extractor().Vector(&req.Item),
+		Vector:    vec,
 		Names:     features.Names,
 	})
 }

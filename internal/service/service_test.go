@@ -361,3 +361,63 @@ func TestDriftDisabled(t *testing.T) {
 		t.Fatalf("status = %d, want 501 when drift tracking is off", resp.StatusCode)
 	}
 }
+
+// TestDetectSegmentsOncePerComment: one HTTP detection call — drift
+// recording included — must segment each comment of each item that
+// reaches analysis exactly once, and skip sales-filtered items
+// entirely. This pins down the fused pipeline at the service layer.
+func TestDetectSegmentsOncePerComment(t *testing.T) {
+	bank := textgen.NewBank()
+	texts, labels := synth.PolarCorpus(800, 96)
+	analyzer, err := core.OracleAnalyzer(bank, texts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(analyzer, core.DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := synth.Generate(synth.Config{
+		Name: "seg-train", Seed: 97, FraudEvidence: 80, Normal: 120, Shops: 6,
+	})
+	if err := det.Train(&train.Dataset, 0); err != nil {
+		t.Fatal(err)
+	}
+	trainX := det.Extractor().ExtractDataset(train.Dataset.Items, 0)
+	srv := New(det, analyzer, Options{TrainingSample: trainX}) // drift ON
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	test := synth.Generate(synth.Config{
+		Name: "seg-test", Seed: 98, FraudEvidence: 20, Normal: 40, Shops: 4,
+	})
+	items := test.Dataset.Items
+	for i := range items {
+		if i%3 == 0 {
+			items[i].SalesVolume = 1 // below the cutoff: never segmented
+		}
+	}
+	var analyzed int64
+	for i := range items {
+		if items[i].SalesVolume >= 5 {
+			analyzed += int64(len(items[i].Comments))
+		}
+	}
+	body, err := json.Marshal(DetectRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seg := det.Extractor().Segmenter()
+	before := seg.Segmentations()
+	resp, out := postDetect(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Detections) != len(items) {
+		t.Fatalf("got %d detections, want %d", len(out.Detections), len(items))
+	}
+	if got := seg.Segmentations() - before; got != analyzed {
+		t.Fatalf("/v1/detect ran %d segmentation passes, want %d (one per analyzed comment)", got, analyzed)
+	}
+}

@@ -236,8 +236,16 @@ func Entropy(counts []int) float64 {
 // result is bit-for-bit deterministic (float addition is not
 // associative, and Go map iteration order varies).
 func EntropyOfWords(words []string) float64 {
+	h, _ := EntropyAndDistinct(words)
+	return h
+}
+
+// EntropyAndDistinct computes EntropyOfWords together with the number
+// of distinct words, sharing one frequency map — the comment-analysis
+// layer needs both per comment.
+func EntropyAndDistinct(words []string) (entropy float64, distinct int) {
 	if len(words) == 0 {
-		return 0
+		return 0, 0
 	}
 	freq := make(map[string]int, len(words))
 	for _, w := range words {
@@ -254,7 +262,7 @@ func EntropyOfWords(words []string) float64 {
 		p := float64(c) / n
 		h -= p * math.Log2(p)
 	}
-	return h
+	return h, len(freq)
 }
 
 // WordCount is a word together with its occurrence count.

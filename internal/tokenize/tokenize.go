@@ -13,6 +13,7 @@ package tokenize
 
 import (
 	"strings"
+	"sync/atomic"
 	"unicode"
 )
 
@@ -35,12 +36,16 @@ type Token struct {
 // Segmenter splits unsegmented text into word and punctuation tokens
 // using forward maximum matching against a dictionary.
 //
-// A Segmenter is immutable after construction and safe for concurrent
-// use by multiple goroutines.
+// A Segmenter is immutable after construction (apart from its call
+// counter) and safe for concurrent use by multiple goroutines.
 type Segmenter struct {
 	dict    map[string]struct{}
 	maxLen  int // longest dictionary entry, in runes
 	minimum int
+
+	// calls counts segmentation passes, so tests can assert the
+	// detection paths segment each comment exactly once.
+	calls atomic.Int64
 }
 
 // NewSegmenter builds a Segmenter from the given vocabulary. Empty
@@ -96,7 +101,12 @@ func (s *Segmenter) Words(text string) []string {
 	return words
 }
 
+// Segmentations returns the number of segmentation passes run since
+// construction. One Segment/SegmentAll/Words call is one pass.
+func (s *Segmenter) Segmentations() int64 { return s.calls.Load() }
+
 func (s *Segmenter) segment(text string, keepSpace bool) []Token {
+	s.calls.Add(1)
 	runes := []rune(text)
 	toks := make([]Token, 0, len(runes)/2+1)
 	i := 0
