@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments cover clean
+.PHONY: all build vet test test-race bench bench-smoke experiments cover clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark, no unit tests: a fast compile-and-run
+# smoke so benchmarks can't rot between PRs (CI runs this).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Regenerate every paper table and figure at the default scales.
 experiments:

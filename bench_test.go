@@ -290,6 +290,26 @@ func BenchmarkSegmenter(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmenterAppend is BenchmarkSegmenter through the
+// buffer-reusing append API — the zero-allocation hot path the fused
+// detection pipeline runs on.
+func BenchmarkSegmenterAppend(b *testing.B) {
+	seg := tokenize.NewSegmenter(textgen.NewBank().Vocabulary())
+	comments := benchComments(256)
+	var runes int
+	for _, c := range comments {
+		runes += tokenize.RuneLen(c)
+	}
+	words := make([]string, 0, 256)
+	b.SetBytes(int64(runes / len(comments)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		words = seg.WordsAppend(words[:0], comments[i%len(comments)])
+	}
+	_ = words
+}
+
 func benchExtractor(b *testing.B) (*features.Extractor, []ecom.Item) {
 	b.Helper()
 	bank := textgen.NewBank()
@@ -317,6 +337,18 @@ func BenchmarkFeatureExtractParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ex.ExtractDataset(items, 0)
+	}
+}
+
+// BenchmarkVectorSignal measures the fused filter+features entry point
+// the detector scores through: pooled scratch, one allocation (the
+// returned vector) per item.
+func BenchmarkVectorSignal(b *testing.B) {
+	ex, items := benchExtractor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ex.VectorSignal(&items[i%len(items)])
 	}
 }
 
@@ -373,6 +405,22 @@ func BenchmarkGBTPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = clf.PredictProba(ds.X[i%len(ds.X)])
+	}
+}
+
+// BenchmarkGBTPredictBatch scores the whole dataset through the
+// flattened ensemble's batch API — the path core.scoreBatch takes.
+func BenchmarkGBTPredictBatch(b *testing.B) {
+	ds := benchMLDataset(2000)
+	clf := gbt.New(gbt.Config{Rounds: 100, MaxDepth: 4, Seed: 1})
+	if err := clf.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, len(ds.X))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = clf.PredictProbaBatch(ds.X, out)
 	}
 }
 

@@ -9,16 +9,24 @@
 //	           eplatform|riskyusers|throughput|
 //	           filterablation|featureablation|lexiconablation|gbtablation]
 //	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
+//	          [-json]
 //
 // Scales default to laptop-sized fractions of the paper's dataset
 // sizes; raise them toward 1.0 to approach the full-size experiments.
+//
+// With -json, each experiment additionally writes a machine-readable
+// BENCH_<exp>.json in the working directory recording wall time,
+// allocation counts, and the experiment's result value — the repo's
+// perf trajectory as data instead of prose.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -33,6 +41,7 @@ func main() {
 		sample  = flag.Int("sample", 0, "per-class item sample for distribution figures (default 400)")
 		corpus  = flag.Int("corpus", 0, "word2vec corpus comments (default 20000)")
 		seed    = flag.Int64("seed", 0, "seed offset for all universes")
+		asJSON  = flag.Bool("json", false, "also write BENCH_<exp>.json per experiment (ns, allocs, result)")
 	)
 	flag.Parse()
 
@@ -40,7 +49,7 @@ func main() {
 		D0Scale: *d0scale, D1Scale: *d1scale, EPlatScale: *epscale,
 		SampleItems: *sample, CorpusComments: *corpus, Seed: *seed,
 	})
-	if err := run(lab, *exp); err != nil {
+	if err := run(lab, *exp, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "catsbench:", err)
 		os.Exit(1)
 	}
@@ -56,15 +65,32 @@ var experimentOrder = []string{
 	"filterablation", "featureablation", "lexiconablation", "gbtablation",
 }
 
-func run(lab *experiments.Lab, exp string) error {
+// benchRecord is the BENCH_<exp>.json payload: one experiment run's
+// wall time and allocation cost, plus its result value so downstream
+// tooling can read e.g. the throughput rows' items/s without parsing
+// the textual report.
+type benchRecord struct {
+	Exp        string    `json:"exp"`
+	RunAt      time.Time `json:"run_at"`
+	ElapsedNs  int64     `json:"elapsed_ns"`
+	NsPerOp    int64     `json:"ns_per_op"` // one experiment run is one op
+	Mallocs    uint64    `json:"allocs_per_op"`
+	BytesAlloc uint64    `json:"bytes_per_op"`
+	Result     any       `json:"result,omitempty"`
+}
+
+func run(lab *experiments.Lab, exp string, asJSON bool) error {
 	if exp == "all" {
 		for _, id := range experimentOrder {
-			if err := run(lab, id); err != nil {
+			if err := run(lab, id, asJSON); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 		}
 		return nil
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs, bytes := ms.Mallocs, ms.TotalAlloc
 	start := time.Now()
 	var out fmt.Stringer
 	var err error
@@ -135,7 +161,38 @@ func run(lab *experiments.Lab, exp string) error {
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	fmt.Print(out.String())
-	fmt.Printf("  [%s in %v]\n\n", exp, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  [%s in %v]\n\n", exp, elapsed.Round(time.Millisecond))
+	if asJSON {
+		runtime.ReadMemStats(&ms)
+		rec := benchRecord{
+			Exp:        exp,
+			RunAt:      time.Now().UTC(),
+			ElapsedNs:  elapsed.Nanoseconds(),
+			NsPerOp:    elapsed.Nanoseconds(),
+			Mallocs:    ms.Mallocs - mallocs,
+			BytesAlloc: ms.TotalAlloc - bytes,
+			Result:     out,
+		}
+		if err := writeBenchJSON(rec); err != nil {
+			return fmt.Errorf("write BENCH_%s.json: %w", exp, err)
+		}
+	}
 	return nil
+}
+
+// writeBenchJSON writes one experiment's benchRecord to BENCH_<exp>.json
+// in the working directory. Results that don't marshal (none today —
+// every experiment result is a plain exported struct) degrade to their
+// String form rather than failing the run.
+func writeBenchJSON(rec benchRecord) error {
+	if _, err := json.Marshal(rec.Result); err != nil {
+		rec.Result = fmt.Sprint(rec.Result)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(fmt.Sprintf("BENCH_%s.json", rec.Exp), append(data, '\n'), 0o644)
 }

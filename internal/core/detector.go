@@ -215,36 +215,53 @@ type Detection struct {
 	Filtered bool    // removed by the stage-one rule filter
 }
 
-// scoreOne fuses filter, feature extraction and scoring for one item
-// from a single analysis pass per comment. The sales cutoff is checked
+// analyzeOne fuses filter and feature extraction for one item from a
+// single pooled analysis pass per comment. The sales cutoff is checked
 // before any text is touched, so items below it cost no segmentation at
 // all; surviving items are analyzed once and the same artifact answers
-// both the positive-signal rule and the 11-feature vector.
+// both the positive-signal rule and the 11-feature vector. needScore
+// reports whether the item survived stage one and awaits a classifier
+// score.
 //
 // The returned vector is nil when features were never computed (the
 // item fell to the sales cutoff); filtered-by-signal items still return
 // their vector since the analysis had to run to prove the absence of a
 // positive signal.
-func (d *Detector) scoreOne(item *ecom.Item) (Detection, []float64) {
-	det := Detection{ItemID: item.ID}
+func (d *Detector) analyzeOne(item *ecom.Item) (det Detection, v []float64, needScore bool) {
+	det = Detection{ItemID: item.ID}
 	if !d.cfg.DisableRuleFilter && item.SalesVolume < d.cfg.MinSalesVolume {
 		det.Filtered = true
-		return det, nil
+		return det, nil, false
 	}
-	a := d.extractor.AnalyzeItem(item)
-	v := a.Vector()
-	if !d.cfg.DisableRuleFilter && !a.HasPositiveSignal() {
+	v, hasPositive := d.extractor.VectorSignal(item)
+	if !d.cfg.DisableRuleFilter && !hasPositive {
 		det.Filtered = true
-		return det, v
+		return det, v, false
 	}
-	det.Score = d.clf.PredictProba(v)
-	det.IsFraud = det.Score >= d.cfg.Threshold
+	return det, v, true
+}
+
+// scoreOne is analyzeOne plus the classifier score — the single-item
+// detection path.
+func (d *Detector) scoreOne(item *ecom.Item) (Detection, []float64) {
+	det, v, need := d.analyzeOne(item)
+	if need {
+		det.Score = d.clf.PredictProba(v)
+		det.IsFraud = det.Score >= d.cfg.Threshold
+	}
 	return det, v
 }
 
-// scoreBatch runs scoreOne over items with a worker pool, preserving
-// item order. workers <= 0 uses GOMAXPROCS. Cancellation of ctx stops
-// dispatching new items and returns the context's error.
+// scoreBatch analyzes items with a worker pool, preserving item order,
+// then scores the survivors. With the default boosted-tree classifier
+// the scoring phase runs through gbt.PredictProbaBatch over the
+// flattened ensemble — the contiguous node array is streamed per chunk
+// instead of re-entering the classifier item by item — split across the
+// same worker budget. Other classifiers score inline in the analysis
+// workers. Both paths produce scores bit-identical to scoreOne.
+//
+// workers <= 0 uses GOMAXPROCS. Cancellation of ctx stops dispatching
+// new items and returns the context's error.
 func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers int) ([]Detection, [][]float64, error) {
 	if !d.trained {
 		return nil, nil, ErrNotTrained
@@ -255,17 +272,29 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 	if workers > len(items) {
 		workers = len(items)
 	}
+	g, batchScoring := d.clf.(*gbt.Classifier)
 	dets := make([]Detection, len(items))
 	X := make([][]float64, len(items))
+	var pending []int // indices awaiting a batch score, in item order
 	if workers <= 1 {
 		for i := range items {
 			if err := ctx.Err(); err != nil {
 				return nil, nil, err
 			}
-			dets[i], X[i] = d.scoreOne(&items[i])
+			var need bool
+			dets[i], X[i], need = d.analyzeOne(&items[i])
+			if need {
+				if batchScoring {
+					pending = append(pending, i)
+				} else {
+					d.applyScore(&dets[i], d.clf.PredictProba(X[i]))
+				}
+			}
 		}
+		d.scorePending(g, dets, X, pending, 1)
 		return dets, X, nil
 	}
+	needScore := make([]bool, len(items))
 	var wg sync.WaitGroup
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -273,7 +302,12 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				dets[i], X[i] = d.scoreOne(&items[i])
+				var need bool
+				dets[i], X[i], need = d.analyzeOne(&items[i])
+				if need && !batchScoring {
+					d.applyScore(&dets[i], d.clf.PredictProba(X[i]))
+				}
+				needScore[i] = need
 			}
 		}()
 	}
@@ -290,8 +324,61 @@ dispatch:
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if batchScoring {
+		for i, need := range needScore {
+			if need {
+				pending = append(pending, i)
+			}
+		}
+		d.scorePending(g, dets, X, pending, workers)
+	}
 	return dets, X, nil
 }
+
+// applyScore finalizes one detection from its fraud probability.
+func (d *Detector) applyScore(det *Detection, score float64) {
+	det.Score = score
+	det.IsFraud = score >= d.cfg.Threshold
+}
+
+// scorePending batch-scores the pending rows through the flattened
+// boosted-tree ensemble, splitting the batch into contiguous chunks
+// across the worker budget. Scores are independent per row, so the
+// chunking changes nothing about the results.
+func (d *Detector) scorePending(g *gbt.Classifier, dets []Detection, X [][]float64, pending []int, workers int) {
+	if len(pending) == 0 {
+		return
+	}
+	vecs := make([][]float64, len(pending))
+	for k, i := range pending {
+		vecs[k] = X[i]
+	}
+	scores := make([]float64, len(pending))
+	chunk := (len(pending) + workers - 1) / workers
+	if chunk < minScoreChunk {
+		chunk = minScoreChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(pending); lo += chunk {
+		hi := lo + chunk
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			g.PredictProbaBatch(vecs[lo:hi], scores[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	for k, i := range pending {
+		d.applyScore(&dets[i], scores[k])
+	}
+}
+
+// minScoreChunk keeps batch-scoring goroutines coarse enough that the
+// spawn cost never dominates a small batch.
+const minScoreChunk = 64
 
 // DetectItem scores a single item. Filtered items get Score 0.
 func (d *Detector) DetectItem(item *ecom.Item) (Detection, error) {

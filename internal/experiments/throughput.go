@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -15,13 +16,16 @@ import (
 
 // ThroughputRow is one pipeline's filter-heavy throughput measurement.
 type ThroughputRow struct {
-	Pipeline     string
-	Items        int
-	Comments     int
-	Elapsed      time.Duration
-	ItemsPerSec  float64
-	SegPasses    int64 // segmentation passes the run actually paid for
-	SegPerFiltIn float64
+	Pipeline       string
+	Items          int
+	Comments       int
+	Elapsed        time.Duration
+	ItemsPerSec    float64
+	CommentsPerSec float64
+	SegPasses      int64 // segmentation passes the run actually paid for
+	SegPerFiltIn   float64
+	Mallocs        uint64  // heap allocations the run performed
+	AllocsPerItem  float64 // Mallocs / Items — the zero-allocation hot path target
 }
 
 // ThroughputResult measures the fused detection pipeline on a
@@ -58,12 +62,17 @@ func (l *Lab) Throughput() (*ThroughputResult, error) {
 	seg := det.Extractor().Segmenter()
 	res := &ThroughputResult{}
 
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs := ms.Mallocs
 	before, start := seg.Segmentations(), time.Now()
 	if _, err := det.Detect(items, l.cfg.Workers); err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
 	res.Rows = append(res.Rows, throughputRow("Detect (batch)", items, comments,
-		time.Since(start), seg.Segmentations()-before))
+		elapsed, seg.Segmentations()-before, ms.Mallocs-mallocs))
 
 	var buf bytes.Buffer
 	w := dataset.NewWriter(&buf)
@@ -75,6 +84,8 @@ func (l *Lab) Throughput() (*ThroughputResult, error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	runtime.ReadMemStats(&ms)
+	mallocs = ms.Mallocs
 	before, start = seg.Segmentations(), time.Now()
 	_, err = det.DetectStream(context.Background(), dataset.NewReader(&buf),
 		core.StreamOptions{Workers: l.cfg.Workers},
@@ -82,21 +93,27 @@ func (l *Lab) Throughput() (*ThroughputResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms)
 	res.Rows = append(res.Rows, throughputRow("DetectStream (JSONL)", items, comments,
-		time.Since(start), seg.Segmentations()-before))
+		elapsed, seg.Segmentations()-before, ms.Mallocs-mallocs))
 	return res, nil
 }
 
-func throughputRow(name string, items []ecom.Item, comments int, elapsed time.Duration, passes int64) ThroughputRow {
+func throughputRow(name string, items []ecom.Item, comments int, elapsed time.Duration, passes int64, mallocs uint64) ThroughputRow {
 	row := ThroughputRow{
 		Pipeline: name, Items: len(items), Comments: comments,
-		Elapsed: elapsed, SegPasses: passes,
+		Elapsed: elapsed, SegPasses: passes, Mallocs: mallocs,
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		row.ItemsPerSec = float64(len(items)) / s
+		row.CommentsPerSec = float64(comments) / s
 	}
 	if comments > 0 {
 		row.SegPerFiltIn = float64(passes) / float64(comments)
+	}
+	if len(items) > 0 {
+		row.AllocsPerItem = float64(mallocs) / float64(len(items))
 	}
 	return row
 }
@@ -106,9 +123,10 @@ func (r *ThroughputResult) String() string {
 	var b strings.Builder
 	b.WriteString("Filter-heavy throughput — fused single-pass pipeline (50% of items below sales cutoff)\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-22s %6d items (%d comments) in %8s = %8.0f items/s; %d seg passes (%.2f per comment)\n",
+		fmt.Fprintf(&b, "  %-22s %6d items (%d comments) in %8s = %8.0f items/s (%.0f comments/s); %d seg passes (%.2f per comment); %d allocs (%.0f per item)\n",
 			row.Pipeline, row.Items, row.Comments, row.Elapsed.Round(time.Millisecond),
-			row.ItemsPerSec, row.SegPasses, row.SegPerFiltIn)
+			row.ItemsPerSec, row.CommentsPerSec, row.SegPasses, row.SegPerFiltIn,
+			row.Mallocs, row.AllocsPerItem)
 	}
 	return b.String()
 }

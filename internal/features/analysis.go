@@ -9,9 +9,16 @@
 // stage-one positive-signal filter decision, and the Figs 2–5
 // CommentStructure are all field reads (or pure arithmetic) over data
 // that was computed exactly once.
+//
+// The hot path runs on pooled scratch: token and word buffers, the
+// entropy frequency map, and the item-level distinct-word set all come
+// from a sync.Pool and are reused across comments, so VectorSignal — the
+// detector's fused entry point — allocates only the returned vector.
 package features
 
 import (
+	"sync"
+
 	"repro/internal/ecom"
 	"repro/internal/stats"
 	"repro/internal/tokenize"
@@ -63,37 +70,72 @@ func (c *CommentAnalysis) Structure() CommentStructure {
 	return cs
 }
 
+// scratch is the pooled per-call workspace of the analysis layer. Every
+// buffer is reused across comments (and across pool round-trips), so a
+// warmed analysis pass performs no allocation beyond outputs the caller
+// retains.
+type scratch struct {
+	toks   []tokenize.Token
+	words  []string
+	freq   map[string]int
+	counts []int
+	uniq   map[string]struct{}
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{
+		toks:  make([]tokenize.Token, 0, 64),
+		words: make([]string, 0, 64),
+		freq:  make(map[string]int, 64),
+		uniq:  make(map[string]struct{}, 128),
+	}
+}}
+
 // AnalyzeComment measures one comment in a single segmentation pass.
-// Rune length and punctuation count are recovered from the token stream
-// (every punctuation rune is its own token and whitespace runs are kept)
-// so the raw text is scanned exactly once.
+// Rune length and punctuation count fall out of the token stream's byte
+// offsets and rune counts (every punctuation rune is its own token and
+// whitespace runs are kept), so the raw text is scanned exactly once
+// and never re-scanned per token. The returned Words slice is owned by
+// the caller.
 func (e *Extractor) AnalyzeComment(content string) CommentAnalysis {
-	toks := e.seg.SegmentAll(content)
+	sc := scratchPool.Get().(*scratch)
+	ca := e.analyzeComment(sc, content)
+	ca.Words = append([]string(nil), ca.Words...)
+	scratchPool.Put(sc)
+	return ca
+}
+
+// analyzeComment is AnalyzeComment over pooled scratch. The returned
+// analysis aliases sc.words: it is valid only until the scratch's next
+// use, and callers that retain it must copy Words first.
+func (e *Extractor) analyzeComment(sc *scratch, content string) CommentAnalysis {
+	sc.toks = e.seg.AppendTokensAll(sc.toks[:0], content)
 	var ca CommentAnalysis
-	words := make([]string, 0, len(toks))
-	for _, t := range toks {
-		ca.RuneLength += tokenize.RuneLen(t.Text)
+	sc.words = sc.words[:0]
+	for i := range sc.toks {
+		t := &sc.toks[i]
+		ca.RuneLength += t.Runes
 		switch t.Kind {
 		case tokenize.KindWord:
-			words = append(words, t.Text)
+			sc.words = append(sc.words, t.Text)
 		case tokenize.KindPunct:
 			ca.PunctCount++
 		}
 	}
-	ca.Words = words
-	for wi, w := range words {
+	ca.Words = sc.words
+	for wi, w := range ca.Words {
 		if e.pos.Contains(w) {
 			ca.PositiveHits++
 		}
 		if e.neg.Contains(w) {
 			ca.NegativeHits++
 		}
-		if wi+1 < len(words) && e.isPositiveGram(w, words[wi+1]) {
+		if wi+1 < len(ca.Words) && e.isPositiveGram(w, ca.Words[wi+1]) {
 			ca.PositiveGrams++
 		}
 	}
-	ca.Entropy, ca.DistinctWords = stats.EntropyAndDistinct(words)
-	ca.Sentiment = e.sent.Score(words)
+	ca.Entropy, ca.DistinctWords = stats.EntropyAndDistinctScratch(ca.Words, sc.freq, &sc.counts)
+	ca.Sentiment = e.sent.Score(ca.Words)
 	return ca
 }
 
@@ -116,26 +158,60 @@ type ItemAnalysis struct {
 	punctRatioSum float64
 	wordTotal     int
 	distinctWords int
+	nComments     int
 	hasPositive   bool
 }
 
 // AnalyzeItem analyzes every comment of an item, segmenting each
-// exactly once.
+// exactly once. The per-comment artifacts are retained (with
+// caller-owned Words), so use the cheaper VectorSignal when only the
+// vector and filter decision are needed.
 func (e *Extractor) AnalyzeItem(item *ecom.Item) *ItemAnalysis {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 	a := &ItemAnalysis{Comments: make([]CommentAnalysis, 0, len(item.Comments))}
-	uniq := make(map[string]struct{})
+	clear(sc.uniq)
 	for i := range item.Comments {
-		a.add(e.AnalyzeComment(item.Comments[i].Content), uniq)
+		ca := e.analyzeComment(sc, item.Comments[i].Content)
+		ca.Words = append([]string(nil), ca.Words...)
+		a.add(ca, sc.uniq)
 	}
-	a.distinctWords = len(uniq)
+	a.distinctWords = len(sc.uniq)
 	return a
 }
 
-// add folds one comment's analysis into the item aggregates.
+// VectorSignal computes the item's 11-feature vector together with the
+// stage-one positive-signal decision from one pooled analysis pass per
+// comment, retaining nothing: the only allocation is the returned
+// vector. It is the detector's fused scoring entry point; the vector is
+// bit-identical to AnalyzeItem(item).Vector().
+func (e *Extractor) VectorSignal(item *ecom.Item) ([]float64, bool) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	var a ItemAnalysis
+	clear(sc.uniq)
+	for i := range item.Comments {
+		ca := e.analyzeComment(sc, item.Comments[i].Content)
+		a.accumulate(&ca, sc.uniq)
+	}
+	a.distinctWords = len(sc.uniq)
+	return a.Vector(), a.hasPositive
+}
+
+// add folds one comment's analysis into the item aggregates and retains
+// it. ca.Words must be caller-owned (not scratch-aliased).
 func (a *ItemAnalysis) add(ca CommentAnalysis, uniq map[string]struct{}) {
+	a.accumulate(&ca, uniq)
+	a.Comments = append(a.Comments, ca)
+}
+
+// accumulate folds one comment's analysis into the item aggregates
+// without retaining it.
+func (a *ItemAnalysis) accumulate(ca *CommentAnalysis, uniq map[string]struct{}) {
 	for _, w := range ca.Words {
 		uniq[w] = struct{}{}
 	}
+	a.nComments++
 	a.wordTotal += len(ca.Words)
 	a.posTotal += float64(ca.PositiveHits)
 	a.posNegDiff += abs(float64(ca.PositiveHits) - float64(ca.NegativeHits))
@@ -153,7 +229,6 @@ func (a *ItemAnalysis) add(ca CommentAnalysis, uniq map[string]struct{}) {
 	if ca.HasPositiveSignal() {
 		a.hasPositive = true
 	}
-	a.Comments = append(a.Comments, ca)
 }
 
 // HasPositiveSignal reports whether any comment carries a positive word
@@ -164,7 +239,7 @@ func (a *ItemAnalysis) HasPositiveSignal() bool { return a.hasPositive }
 // aggregates. Items with no comments get a zero vector.
 func (a *ItemAnalysis) Vector() []float64 {
 	v := make([]float64, NumFeatures)
-	nc := len(a.Comments)
+	nc := a.nComments
 	if nc == 0 {
 		return v
 	}

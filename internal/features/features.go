@@ -87,10 +87,11 @@ func (e *Extractor) NegativeSet() *lexicon.Set { return e.neg }
 // Vector computes the 11-feature vector for one item. Items with no
 // comments get a zero vector (they are normally removed earlier by the
 // detector's rule filter). Callers that also need the filter decision
-// or per-comment structure should use AnalyzeItem and derive all three
-// from the one analysis pass.
+// should use VectorSignal; callers needing per-comment structure should
+// use AnalyzeItem and derive all three from the one analysis pass.
 func (e *Extractor) Vector(item *ecom.Item) []float64 {
-	return e.AnalyzeItem(item).Vector()
+	v, _ := e.VectorSignal(item)
+	return v
 }
 
 // isPositiveGram reports whether (a, b) is a positive 2-gram: "at least
@@ -109,9 +110,11 @@ func (e *Extractor) isPositiveGram(a, b string) bool {
 // read ItemAnalysis.HasPositiveSignal so the same segmentation pass
 // also feeds the feature vector.
 func (e *Extractor) HasPositiveSignal(item *ecom.Item) bool {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 	for i := range item.Comments {
-		words := e.seg.Words(item.Comments[i].Content)
-		for _, w := range words {
+		sc.words = e.seg.WordsAppend(sc.words[:0], item.Comments[i].Content)
+		for _, w := range sc.words {
 			if e.pos.Contains(w) {
 				return true
 			}

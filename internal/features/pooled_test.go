@@ -1,0 +1,87 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestVectorSignalMatchesAnalyzeItem: the pooled no-retention path must
+// produce the same vector (bit-for-bit) and the same stage-one decision
+// as the retaining AnalyzeItem path on every item.
+func TestVectorSignalMatchesAnalyzeItem(t *testing.T) {
+	e := synthExtractor(t)
+	u := synth.Generate(synth.Config{
+		Name: "pooled", Seed: 44, FraudEvidence: 50, Normal: 50, Shops: 5,
+	})
+	items := u.Dataset.Items
+	items = append(items,
+		*item(),
+		*item(""),
+		*item("！！！，，，"),
+		*item("很好很好很好"),
+		*item("很好，满意！", "", "质量太差。"),
+	)
+	for i := range items {
+		a := e.AnalyzeItem(&items[i])
+		wantV, wantSig := a.Vector(), a.HasPositiveSignal()
+		gotV, gotSig := e.VectorSignal(&items[i])
+		if gotSig != wantSig {
+			t.Fatalf("item %d: VectorSignal signal %v, AnalyzeItem %v", i, gotSig, wantSig)
+		}
+		for j := range wantV {
+			if gotV[j] != wantV[j] {
+				t.Fatalf("item %d feature %s: VectorSignal %v != AnalyzeItem %v",
+					i, Names[j], gotV[j], wantV[j])
+			}
+		}
+	}
+}
+
+// TestVectorSignalSegmentsOncePerComment: pooling must not change the
+// exactly-once segmentation accounting.
+func TestVectorSignalSegmentsOncePerComment(t *testing.T) {
+	e := synthExtractor(t)
+	it := item("很好，满意！", "质量太差。", "好评好评", "")
+	before := e.seg.Segmentations()
+	_, _ = e.VectorSignal(it)
+	if got, want := e.seg.Segmentations()-before, int64(len(it.Comments)); got != want {
+		t.Fatalf("VectorSignal ran %d segmentation passes for %d comments", got, want)
+	}
+}
+
+// TestVectorSignalAllocations: once the scratch pool is warm, the fused
+// path's only allocation is the returned 11-float vector (one alloc).
+// The bound is loose enough to tolerate a pool miss under parallel test
+// runs but tight enough to catch a reintroduced per-comment allocation.
+func TestVectorSignalAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	e := synthExtractor(t)
+	it := item("很好，满意！五星好评。", "质量不错物流很快", "好评好评好评")
+	_, _ = e.VectorSignal(it) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		_, _ = e.VectorSignal(it)
+	})
+	if allocs > 2 {
+		t.Fatalf("VectorSignal allocated %.1f times per item, want <= 2", allocs)
+	}
+}
+
+// TestHasPositiveSignalAllocations: the filter-only fast path reuses
+// pooled word buffers and must stay allocation-free when warm.
+func TestHasPositiveSignalAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	e := synthExtractor(t)
+	it := item("质量一般。", "物流太差", "很好很好")
+	_ = e.HasPositiveSignal(it) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		_ = e.HasPositiveSignal(it)
+	})
+	if allocs > 0 {
+		t.Fatalf("HasPositiveSignal allocated %.1f times per item, want 0", allocs)
+	}
+}

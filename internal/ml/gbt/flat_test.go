@@ -1,0 +1,125 @@
+package gbt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func flatTestDataset(n, nf int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &ml.Dataset{}
+	for i := 0; i < n; i++ {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(i%2)
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, i%2)
+	}
+	return ds
+}
+
+// TestFlatMatchesPointerWalk: the flattened ensemble's margins must be
+// bit-identical to the retained pointer-walk reference for every row,
+// including staged prediction at every tree count.
+func TestFlatMatchesPointerWalk(t *testing.T) {
+	ds := flatTestDataset(400, 7, 3)
+	c := New(Config{Rounds: 40, MaxDepth: 4, Subsample: 0.8, ColSample: 0.6, Seed: 5})
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if c.flat == nil {
+		t.Fatal("Fit did not build the flat ensemble")
+	}
+	for i, x := range ds.X {
+		if got, want := c.PredictMargin(x), c.predictMarginTrees(x); got != want {
+			t.Fatalf("row %d: flat margin %v != pointer margin %v", i, got, want)
+		}
+	}
+	// Staged margins at every prefix length.
+	x := ds.X[17]
+	for n := 0; n <= c.NumTrees(); n++ {
+		m := c.baseScore
+		for i := 0; i < n; i++ {
+			m += c.cfg.LearningRate * predictNode(c.trees[i], x)
+		}
+		if got, want := c.PredictProbaAt(x, n), sigmoid(m); got != want {
+			t.Fatalf("staged n=%d: flat %v != pointer %v", n, got, want)
+		}
+	}
+}
+
+// TestPredictBatchMatchesSingle: batch prediction must be bit-identical
+// to per-row calls, for both margins and probabilities, with and
+// without a caller-provided output buffer.
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	ds := flatTestDataset(300, 5, 9)
+	c := New(Config{Rounds: 25, MaxDepth: 3, Seed: 2})
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	margins := c.PredictMarginBatch(ds.X, nil)
+	buf := make([]float64, len(ds.X))
+	probas := c.PredictProbaBatch(ds.X, buf)
+	if &probas[0] != &buf[0] {
+		t.Fatal("PredictProbaBatch did not reuse the provided buffer")
+	}
+	for i, x := range ds.X {
+		if margins[i] != c.PredictMargin(x) {
+			t.Fatalf("row %d: batch margin %v != single %v", i, margins[i], c.PredictMargin(x))
+		}
+		if probas[i] != c.PredictProba(x) {
+			t.Fatalf("row %d: batch proba %v != single %v", i, probas[i], c.PredictProba(x))
+		}
+	}
+}
+
+// TestSnapshotRoundTripFlat: a classifier rebuilt from its snapshot
+// must predict through a rebuilt flat ensemble, bit-identical to the
+// original.
+func TestSnapshotRoundTripFlat(t *testing.T) {
+	ds := flatTestDataset(200, 6, 4)
+	c := New(Config{Rounds: 15, MaxDepth: 3, Seed: 8})
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.flat == nil {
+		t.Fatal("FromSnapshot did not build the flat ensemble")
+	}
+	for i, x := range ds.X {
+		if got, want := back.PredictMargin(x), c.PredictMargin(x); got != want {
+			t.Fatalf("row %d: snapshot margin %v != original %v", i, got, want)
+		}
+	}
+}
+
+// TestPredictZeroAlloc: single and batch prediction over the flat
+// ensemble must not allocate (beyond a caller-provided buffer).
+func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	ds := flatTestDataset(64, 6, 12)
+	c := New(Config{Rounds: 20, MaxDepth: 4, Seed: 3})
+	if err := c.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(ds.X))
+	allocs := testing.AllocsPerRun(50, func() {
+		_ = c.PredictMargin(ds.X[0])
+		_ = c.PredictProbaBatch(ds.X, out)
+	})
+	if allocs > 0 {
+		t.Fatalf("prediction allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -101,6 +101,10 @@ type Classifier struct {
 	baseScore  float64 // log-odds prior
 	splitCount []int   // per-feature split counts (importance)
 	names      []string
+
+	// flat is the contiguous inference mirror of trees, rebuilt by
+	// finalize after Fit/FromSnapshot (see flat.go).
+	flat *flatEnsemble
 }
 
 // New returns an untrained model with the given configuration.
@@ -158,6 +162,7 @@ func (c *Classifier) Fit(ds *ml.Dataset) error {
 			margin[i] += c.cfg.LearningRate * predictNode(t, ds.X[i])
 		}
 	}
+	c.finalize()
 	return nil
 }
 
@@ -333,8 +338,19 @@ func predictNode(n *node, x []float64) float64 {
 
 func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
 
-// PredictMargin returns the raw additive score (log-odds) for x.
+// PredictMargin returns the raw additive score (log-odds) for x. The
+// walk runs over the flattened ensemble; predictMarginTrees is the
+// retained pointer-walk reference the equivalence tests pin it against.
 func (c *Classifier) PredictMargin(x []float64) float64 {
+	if c.flat != nil {
+		return c.flat.margin(x, c.baseScore, c.cfg.LearningRate, len(c.flat.roots))
+	}
+	return c.predictMarginTrees(x)
+}
+
+// predictMarginTrees is the pre-flattening prediction path over the
+// pointer-linked trees, kept as the bit-identical reference oracle.
+func (c *Classifier) predictMarginTrees(x []float64) float64 {
 	m := c.baseScore
 	for _, t := range c.trees {
 		m += c.cfg.LearningRate * predictNode(t, x)
@@ -348,6 +364,9 @@ func (c *Classifier) PredictMargin(x []float64) float64 {
 func (c *Classifier) PredictProbaAt(x []float64, n int) float64 {
 	if n > len(c.trees) {
 		n = len(c.trees)
+	}
+	if c.flat != nil {
+		return sigmoid(c.flat.margin(x, c.baseScore, c.cfg.LearningRate, n))
 	}
 	m := c.baseScore
 	for i := 0; i < n; i++ {

@@ -85,6 +85,7 @@ func FromSnapshot(s *Snapshot) (*Classifier, error) {
 		}
 		c.trees = append(c.trees, root)
 	}
+	c.finalize()
 	return c, nil
 }
 

@@ -247,22 +247,40 @@ func EntropyAndDistinct(words []string) (entropy float64, distinct int) {
 	if len(words) == 0 {
 		return 0, 0
 	}
-	freq := make(map[string]int, len(words))
+	var counts []int
+	return entropyAndDistinct(words, make(map[string]int, len(words)), &counts)
+}
+
+// EntropyAndDistinctScratch is EntropyAndDistinct over caller-owned
+// scratch: freq is cleared and reused as the frequency map, and
+// *counts's capacity is reused for the sorted count slice. With warmed
+// scratch the call allocates nothing. Results are bit-identical to
+// EntropyAndDistinct (counts are summed in the same sorted order).
+func EntropyAndDistinctScratch(words []string, freq map[string]int, counts *[]int) (entropy float64, distinct int) {
+	if len(words) == 0 {
+		return 0, 0
+	}
+	clear(freq)
+	return entropyAndDistinct(words, freq, counts)
+}
+
+func entropyAndDistinct(words []string, freq map[string]int, counts *[]int) (entropy float64, distinct int) {
 	for _, w := range words {
 		freq[w]++
 	}
-	counts := make([]int, 0, len(freq))
+	cs := (*counts)[:0]
 	for _, c := range freq {
-		counts = append(counts, c)
+		cs = append(cs, c)
 	}
-	sort.Ints(counts)
+	sort.Ints(cs)
 	var h float64
 	n := float64(len(words))
-	for _, c := range counts {
+	for _, c := range cs {
 		p := float64(c) / n
 		h -= p * math.Log2(p)
 	}
-	return h, len(freq)
+	*counts = cs
+	return h, len(cs)
 }
 
 // WordCount is a word together with its occurrence count.

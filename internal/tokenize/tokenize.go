@@ -9,12 +9,23 @@
 // vocabulary dictionary. Latin runs and digit runs are emitted as single
 // tokens, punctuation is emitted as punctuation tokens, and CJK runs are
 // split against the dictionary with a single-rune fallback.
+//
+// The segmenter is built for the detection hot path: dictionary words
+// live in a flattened prefix trie matched directly over the input's
+// UTF-8 bytes (no []rune conversion, no per-probe substring), emitted
+// tokens are zero-copy substrings of the input carrying byte offsets
+// and rune counts, and the Append* entry points let callers reuse token
+// and word buffers across comments so a steady-state segmentation pass
+// allocates nothing.
 package tokenize
 
 import (
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Kind classifies a token.
@@ -27,10 +38,17 @@ const (
 	KindSpace             // whitespace run (usually dropped by callers)
 )
 
-// Token is a single segmented unit of text.
+// Token is a single segmented unit of text. Text aliases the segmented
+// input (a zero-copy substring, never a fresh allocation), and Start and
+// End are its byte offsets within that input: Text == input[Start:End].
+// Runes is Text's length in runes, counted during the segmentation walk
+// so callers never re-scan token text.
 type Token struct {
-	Text string
-	Kind Kind
+	Text  string
+	Start int
+	End   int
+	Runes int
+	Kind  Kind
 }
 
 // Segmenter splits unsegmented text into word and punctuation tokens
@@ -39,9 +57,13 @@ type Token struct {
 // A Segmenter is immutable after construction (apart from its call
 // counter) and safe for concurrent use by multiple goroutines.
 type Segmenter struct {
-	dict    map[string]struct{}
-	maxLen  int // longest dictionary entry, in runes
-	minimum int
+	// dict retains the vocabulary as a plain set. The hot path matches
+	// against the flattened trie; the map serves Contains/DictSize and
+	// the referenceSegment oracle the differential fuzz tests pin the
+	// trie against.
+	dict   map[string]struct{}
+	trie   *matchTrie
+	maxLen int // longest dictionary entry, in runes
 
 	// calls counts segmentation passes, so tests can assert the
 	// detection paths segment each comment exactly once.
@@ -58,10 +80,11 @@ func NewSegmenter(vocab []string) *Segmenter {
 			continue
 		}
 		s.dict[w] = struct{}{}
-		if n := len([]rune(w)); n > s.maxLen {
+		if n := utf8.RuneCountInString(w); n > s.maxLen {
 			s.maxLen = n
 		}
 	}
+	s.trie = newMatchTrie(vocab)
 	return s
 }
 
@@ -77,104 +100,168 @@ func (s *Segmenter) DictSize() int { return len(s.dict) }
 // Segment splits text into tokens. Whitespace runs are skipped (no
 // KindSpace tokens are produced); use SegmentAll to keep them.
 func (s *Segmenter) Segment(text string) []Token {
-	all := s.segment(text, false)
-	return all
+	return s.appendTokens(nil, text, false)
 }
 
 // SegmentAll splits text into tokens, keeping whitespace runs as
 // KindSpace tokens.
 func (s *Segmenter) SegmentAll(text string) []Token {
-	return s.segment(text, true)
+	return s.appendTokens(nil, text, true)
+}
+
+// AppendTokens appends text's tokens to dst and returns the extended
+// slice, skipping whitespace runs like Segment. Passing dst[:0] across
+// comments reuses its capacity, so a warmed buffer segments with zero
+// allocations.
+func (s *Segmenter) AppendTokens(dst []Token, text string) []Token {
+	return s.appendTokens(dst, text, false)
+}
+
+// AppendTokensAll is AppendTokens keeping whitespace runs as KindSpace
+// tokens, like SegmentAll.
+func (s *Segmenter) AppendTokensAll(dst []Token, text string) []Token {
+	return s.appendTokens(dst, text, true)
 }
 
 // Words segments text and returns only the word tokens' text. This is
 // the common entry point for the feature extractor and the semantic
 // models: punctuation and whitespace are dropped.
 func (s *Segmenter) Words(text string) []string {
-	toks := s.segment(text, false)
-	words := make([]string, 0, len(toks))
-	for _, t := range toks {
-		if t.Kind == KindWord {
-			words = append(words, t.Text)
-		}
-	}
-	return words
+	return s.WordsAppend(nil, text)
 }
 
+// WordsAppend appends text's word tokens to dst and returns the
+// extended slice. The appended strings are zero-copy substrings of
+// text; with a reused dst the pass allocates nothing.
+func (s *Segmenter) WordsAppend(dst []string, text string) []string {
+	bufp := tokenScratch.Get().(*[]Token)
+	toks := s.appendTokens((*bufp)[:0], text, false)
+	for i := range toks {
+		if toks[i].Kind == KindWord {
+			dst = append(dst, toks[i].Text)
+		}
+	}
+	*bufp = toks[:0]
+	tokenScratch.Put(bufp)
+	return dst
+}
+
+// tokenScratch pools token buffers for entry points that only need the
+// tokens transiently (Words/WordsAppend).
+var tokenScratch = sync.Pool{New: func() any { b := make([]Token, 0, 64); return &b }}
+
 // Segmentations returns the number of segmentation passes run since
-// construction. One Segment/SegmentAll/Words call is one pass.
+// construction. One Segment/SegmentAll/Words call (or Append* variant)
+// is one pass.
 func (s *Segmenter) Segmentations() int64 { return s.calls.Load() }
 
-func (s *Segmenter) segment(text string, keepSpace bool) []Token {
+// appendTokens is the single segmentation walk behind every entry
+// point. It advances over text's UTF-8 bytes directly: runs (space,
+// latin, digit) extend byte offsets, dictionary matches come from the
+// flattened trie, and each emitted token is text[start:end] with its
+// rune count tallied along the way.
+func (s *Segmenter) appendTokens(toks []Token, text string, keepSpace bool) []Token {
 	s.calls.Add(1)
-	runes := []rune(text)
-	toks := make([]Token, 0, len(runes)/2+1)
 	i := 0
-	for i < len(runes) {
-		r := runes[i]
+	for i < len(text) {
+		r, sz := utf8.DecodeRuneInString(text[i:])
 		switch {
 		case unicode.IsSpace(r):
-			j := i
-			for j < len(runes) && unicode.IsSpace(runes[j]) {
-				j++
+			j, n := i+sz, 1
+			for j < len(text) {
+				r2, sz2 := utf8.DecodeRuneInString(text[j:])
+				if !unicode.IsSpace(r2) {
+					break
+				}
+				j += sz2
+				n++
 			}
 			if keepSpace {
-				toks = append(toks, Token{Text: string(runes[i:j]), Kind: KindSpace})
+				toks = append(toks, Token{Text: text[i:j], Start: i, End: j, Runes: n, Kind: KindSpace})
 			}
 			i = j
 		case IsPunct(r):
-			toks = append(toks, Token{Text: string(r), Kind: KindPunct})
-			i++
+			toks = append(toks, Token{Text: text[i : i+sz], Start: i, End: i + sz, Runes: 1, Kind: KindPunct})
+			i += sz
 		case isLatin(r):
-			j := i
-			for j < len(runes) && isLatin(runes[j]) {
+			j, n := i+sz, 1
+			for j < len(text) && isLatin(rune(text[j])) {
 				j++
+				n++
 			}
-			toks = append(toks, Token{Text: string(runes[i:j]), Kind: KindWord})
+			toks = append(toks, Token{Text: text[i:j], Start: i, End: j, Runes: n, Kind: KindWord})
 			i = j
 		case unicode.IsDigit(r):
-			j := i
-			for j < len(runes) && unicode.IsDigit(runes[j]) {
-				j++
+			j, n := i+sz, 1
+			for j < len(text) {
+				r2, sz2 := utf8.DecodeRuneInString(text[j:])
+				if !unicode.IsDigit(r2) {
+					break
+				}
+				j += sz2
+				n++
 			}
-			toks = append(toks, Token{Text: string(runes[i:j]), Kind: KindWord})
+			toks = append(toks, Token{Text: text[i:j], Start: i, End: j, Runes: n, Kind: KindWord})
 			i = j
 		default:
 			// CJK (or anything else): forward maximum match.
-			matched := 1
-			limit := s.maxLen
-			if rem := len(runes) - i; rem < limit {
-				limit = rem
+			if end, n := s.trie.longestMatch(text, i); n >= 2 {
+				toks = append(toks, Token{Text: text[i:end], Start: i, End: end, Runes: n, Kind: KindWord})
+				i = end
+			} else {
+				toks = append(toks, Token{Text: text[i : i+sz], Start: i, End: i + sz, Runes: 1, Kind: KindWord})
+				i += sz
 			}
-			for l := limit; l >= 2; l-- {
-				if _, ok := s.dict[string(runes[i:i+l])]; ok {
-					matched = l
-					break
-				}
-			}
-			toks = append(toks, Token{Text: string(runes[i : i+matched]), Kind: KindWord})
-			i += matched
 		}
 	}
 	return toks
 }
 
-// punctSet lists CJK and ASCII punctuation commonly found in e-commerce
-// comments. unicode.IsPunct misses some full-width symbols (e.g. ～),
-// so the set is explicit and IsPunct unions it with the unicode tables.
-var punctSet = map[rune]struct{}{}
+// punctExtra lists CJK and ASCII punctuation commonly found in
+// e-commerce comments. unicode.IsPunct misses some full-width symbols
+// (e.g. ～), so the set is explicit and IsPunct unions it with the
+// unicode tables.
+const punctExtra = "，。！？；：、…—～·“”‘’（）《》【】,.!?;:()[]\"'~-*&%$#@^_+=<>/\\|"
+
+// asciiPunct caches the full IsPunct answer for every ASCII rune:
+// explicit set, unicode punctuation, and unicode symbols folded into
+// one table load.
+var asciiPunct [128]bool
+
+// punctWide holds the explicit set's non-ASCII runes, sorted for binary
+// search.
+var punctWide []rune
 
 func init() {
-	for _, r := range "，。！？；：、…—～·“”‘’（）《》【】,.!?;:()[]\"'~-*&%$#@^_+=<>/\\|" {
-		punctSet[r] = struct{}{}
+	for r := rune(0); r < 128; r++ {
+		asciiPunct[r] = strings.ContainsRune(punctExtra, r) ||
+			unicode.IsPunct(r) || unicode.IsSymbol(r)
 	}
+	for _, r := range punctExtra {
+		if r >= 128 {
+			punctWide = append(punctWide, r)
+		}
+	}
+	sort.Slice(punctWide, func(i, j int) bool { return punctWide[i] < punctWide[j] })
 }
 
 // IsPunct reports whether r is punctuation or a symbol for the purposes
 // of the structural features (Fig 2 / averagePunctuationRatio).
 func IsPunct(r rune) bool {
-	if _, ok := punctSet[r]; ok {
-		return true
+	if uint32(r) < 128 {
+		return asciiPunct[r]
+	}
+	lo, hi := 0, len(punctWide)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case punctWide[mid] == r:
+			return true
+		case punctWide[mid] < r:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
 	}
 	return unicode.IsPunct(r) || unicode.IsSymbol(r)
 }
@@ -197,11 +284,7 @@ func CountPunct(text string) int {
 // RuneLen returns the length of text in runes. The paper's comment
 // length distributions (Fig 4) are measured in characters, not bytes.
 func RuneLen(text string) int {
-	n := 0
-	for range text {
-		n++
-	}
-	return n
+	return utf8.RuneCountInString(text)
 }
 
 // JoinWords concatenates words with no separator, matching how Chinese

@@ -1,0 +1,147 @@
+package tokenize
+
+import "unicode/utf8"
+
+// matchTrie is the segmenter's dictionary flattened into two contiguous
+// arrays: a node table and an edge table. Each node owns a sorted span
+// of the edge table (edges[lo:hi], ordered by rune), so a dictionary
+// probe is a binary search per rune with no pointer chasing and no
+// per-probe allocation. Matching walks the input's UTF-8 bytes directly
+// — the segmenter never materializes a []rune and never builds a
+// substring to look up.
+//
+// The trie is immutable after construction and safe for concurrent use.
+type matchTrie struct {
+	nodes []trieNode
+	edges []trieEdge
+}
+
+// trieNode is one trie state. Its outgoing edges are edges[lo:hi],
+// sorted by rune for binary search.
+type trieNode struct {
+	lo, hi   int32
+	terminal bool // a dictionary word ends at this node
+}
+
+// trieEdge maps one rune to the next node index.
+type trieEdge struct {
+	r    rune
+	next int32
+}
+
+// buildNode is the temporary pointer-shaped node used only while
+// inserting the vocabulary; flatten converts the result into the
+// contiguous arrays.
+type buildNode struct {
+	children map[rune]*buildNode
+	terminal bool
+}
+
+// newMatchTrie builds the flattened trie from the vocabulary. Empty
+// entries are ignored (NewSegmenter already filters them, but the trie
+// guards anyway).
+func newMatchTrie(vocab []string) *matchTrie {
+	root := &buildNode{}
+	for _, w := range vocab {
+		if w == "" {
+			continue
+		}
+		n := root
+		for _, r := range w {
+			if n.children == nil {
+				n.children = make(map[rune]*buildNode)
+			}
+			c := n.children[r]
+			if c == nil {
+				c = &buildNode{}
+				n.children[r] = c
+			}
+			n = c
+		}
+		n.terminal = true
+	}
+
+	t := &matchTrie{}
+	t.flatten(root)
+	return t
+}
+
+// flatten lays the build trie out breadth-first so each node's children
+// are contiguous in the edge table and sibling subtrees stay close
+// together in memory.
+func (t *matchTrie) flatten(root *buildNode) {
+	queue := []*buildNode{root}
+	t.nodes = append(t.nodes, trieNode{})
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		t.nodes[head].terminal = n.terminal
+		t.nodes[head].lo = int32(len(t.edges))
+		if len(n.children) > 0 {
+			runes := make([]rune, 0, len(n.children))
+			for r := range n.children {
+				runes = append(runes, r)
+			}
+			sortRunes(runes)
+			for _, r := range runes {
+				t.edges = append(t.edges, trieEdge{r: r, next: int32(len(queue))})
+				queue = append(queue, n.children[r])
+				t.nodes = append(t.nodes, trieNode{})
+			}
+		}
+		t.nodes[head].hi = int32(len(t.edges))
+	}
+}
+
+// child returns the node reached from n via rune r, or -1.
+func (t *matchTrie) child(n int32, r rune) int32 {
+	lo, hi := t.nodes[n].lo, t.nodes[n].hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch e := t.edges[mid]; {
+		case e.r == r:
+			return e.next
+		case e.r < r:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}
+
+// longestMatch returns the byte end offset and rune count of the
+// longest dictionary word of at least two runes starting at byte offset
+// i in text, or (0, 0) if none matches. Matching only ever walks
+// forward over text's bytes; no rune slice or probe string is built.
+// Two runes is the same lower bound the forward-maximum-match loop has
+// always used: a one-rune dictionary hit is indistinguishable from the
+// single-rune fallback.
+func (t *matchTrie) longestMatch(text string, i int) (end, runes int) {
+	cur := int32(0)
+	j, n := i, 0
+	for j < len(text) {
+		r, sz := utf8.DecodeRuneInString(text[j:])
+		next := t.child(cur, r)
+		if next < 0 {
+			break
+		}
+		cur = next
+		j += sz
+		n++
+		if n >= 2 && t.nodes[cur].terminal {
+			end, runes = j, n
+		}
+	}
+	return end, runes
+}
+
+// sortRunes is an insertion sort: child fan-out is small (a dictionary
+// node rarely has more than a few dozen distinct next runes), and it
+// avoids pulling sort's interface machinery into the build path.
+func sortRunes(rs []rune) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
