@@ -3,9 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke experiments cover clean
+.PHONY: all build vet lint test test-race check bench bench-smoke fuzz-smoke experiments cover clean
 
 all: build vet test
+
+# Run catslint, the project's invariant linter: zero-alloc hot path
+# (//cats:hotpath), sync.Pool Get/Put pairing, map-iteration
+# determinism, ctx propagation, wall-clock/rand hygiene.
+lint:
+	$(GO) run ./cmd/catslint
+
+# The full pre-merge gate: compile, vet, invariant lint, and tests.
+check: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -26,6 +35,14 @@ bench:
 # smoke so benchmarks can't rot between PRs (CI runs this).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Run each differential fuzz oracle briefly (CI does this per PR): the
+# trie segmenter against the map-based reference, and the table-driven
+# IsPunct against the unicode-package definition. -fuzz takes a single
+# target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentDifferential -fuzztime=10s ./internal/tokenize
+	$(GO) test -run='^$$' -fuzz=FuzzIsPunct -fuzztime=10s ./internal/tokenize
 
 # Regenerate every paper table and figure at the default scales.
 experiments:

@@ -108,6 +108,8 @@ func (e *Extractor) AnalyzeComment(content string) CommentAnalysis {
 // analyzeComment is AnalyzeComment over pooled scratch. The returned
 // analysis aliases sc.words: it is valid only until the scratch's next
 // use, and callers that retain it must copy Words first.
+//
+//cats:hotpath
 func (e *Extractor) analyzeComment(sc *scratch, content string) CommentAnalysis {
 	sc.toks = e.seg.AppendTokensAll(sc.toks[:0], content)
 	var ca CommentAnalysis
@@ -207,6 +209,8 @@ func (a *ItemAnalysis) add(ca CommentAnalysis, uniq map[string]struct{}) {
 
 // accumulate folds one comment's analysis into the item aggregates
 // without retaining it.
+//
+//cats:hotpath
 func (a *ItemAnalysis) accumulate(ca *CommentAnalysis, uniq map[string]struct{}) {
 	for _, w := range ca.Words {
 		uniq[w] = struct{}{}

@@ -96,6 +96,8 @@ func (e *Extractor) Vector(item *ecom.Item) []float64 {
 
 // isPositiveGram reports whether (a, b) is a positive 2-gram: "at least
 // one word of Wi and Wj is from the positive set P".
+//
+//cats:hotpath
 func (e *Extractor) isPositiveGram(a, b string) bool {
 	return e.pos.Contains(a) || e.pos.Contains(b)
 }
@@ -109,6 +111,8 @@ func (e *Extractor) isPositiveGram(a, b string) bool {
 // once. Detection paths that go on to extract features should instead
 // read ItemAnalysis.HasPositiveSignal so the same segmentation pass
 // also feeds the feature vector.
+//
+//cats:hotpath
 func (e *Extractor) HasPositiveSignal(item *ecom.Item) bool {
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)

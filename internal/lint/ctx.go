@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagation enforces context plumbing: a function that receives a
+// context.Context must hand it to every callee that accepts one, and
+// must not mint a fresh context.Background/context.TODO — doing either
+// detaches the callee from the caller's cancellation, so a canceled
+// DetectContext/DetectStream keeps burning worker-pool CPU on a request
+// nobody is waiting for.
+var CtxPropagation = &Analyzer{
+	Name: "ctx-propagation",
+	Doc:  "functions with a ctx parameter must pass it to ctx-accepting callees",
+	Run:  runCtxPropagation,
+}
+
+func runCtxPropagation(p *Package, _ Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, fn := range p.funcDecls() {
+		ctxParams := p.ctxParams(fn)
+		if len(ctxParams) == 0 {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := p.pkgFunc(call, "context"); ok && (name == "Background" || name == "TODO") {
+				diags = append(diags, p.diag(call, "ctx-propagation",
+					"context.%s inside %s, which already receives a ctx parameter — pass that instead", name, fn.Name.Name))
+				return true
+			}
+			if p.calleeTakesContext(call) && !p.mentionsAny(call, ctxParams) {
+				diags = append(diags, p.diag(call, "ctx-propagation",
+					"call in %s accepts a context.Context but is not given the caller's ctx", fn.Name.Name))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// ctxParams returns the objects of fn's parameters whose type is
+// context.Context.
+func (p *Package) ctxParams(fn *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	if fn.Type.Params == nil {
+		return objs
+	}
+	for _, f := range fn.Type.Params.List {
+		for _, name := range f.Names {
+			obj := p.Info.Defs[name]
+			if obj != nil && isNamedType(obj.Type(), "context", "Context") {
+				objs[obj] = true
+			}
+		}
+	}
+	return objs
+}
+
+// calleeTakesContext reports whether call's callee signature has a
+// context.Context parameter. Conversions and builtins have no
+// signature and report false.
+func (p *Package) calleeTakesContext(call *ast.CallExpr) bool {
+	t := p.Info.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isNamedType(params.At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathAlloc enforces the zero-allocation contract on functions
+// annotated //cats:hotpath: no string↔[]byte/[]rune conversions, no
+// fmt calls, no make/new, no map or slice literals, no closures that
+// capture enclosing variables, and append only to slices threaded in
+// through parameters (or derived from them), so a warmed buffer is
+// grown in place instead of a fresh one being allocated.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "forbid allocating constructs in //cats:hotpath functions",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(p *Package, _ Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, fn := range p.funcDecls() {
+		if !isHotpath(fn) {
+			continue
+		}
+		diags = append(diags, lintHotpathFunc(p, fn)...)
+	}
+	return diags
+}
+
+func lintHotpathFunc(p *Package, fn *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	growable := growableSlices(p, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			diags = append(diags, lintHotpathCall(p, fn, x, growable)...)
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					diags = append(diags, p.diag(x, "hotpath-alloc", "map literal allocates in hot-path func %s", fn.Name.Name))
+				case *types.Slice:
+					diags = append(diags, p.diag(x, "hotpath-alloc", "slice literal allocates in hot-path func %s", fn.Name.Name))
+				}
+			}
+		case *ast.FuncLit:
+			if name := p.capturedVar(fn, x); name != "" {
+				diags = append(diags, p.diag(x, "hotpath-alloc",
+					"closure captures %q from hot-path func %s (captured variables escape to the heap)", name, fn.Name.Name))
+			}
+			return false // don't descend: the closure body is not the hot path's own frame
+		}
+		return true
+	})
+	return diags
+}
+
+func lintHotpathCall(p *Package, fn *ast.FuncDecl, call *ast.CallExpr, growable map[types.Object]bool) []Diagnostic {
+	name := fn.Name.Name
+	// string <-> []byte/[]rune conversions copy the data.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := p.Info.TypeOf(call.Args[0])
+		if src != nil && isStringBytesConv(dst, src) {
+			return []Diagnostic{p.diag(call, "hotpath-alloc",
+				"%s conversion copies its operand in hot-path func %s", types.TypeString(dst, types.RelativeTo(p.Pkg)), name)}
+		}
+	}
+	if fname, ok := p.pkgFunc(call, "fmt"); ok {
+		return []Diagnostic{p.diag(call, "hotpath-alloc", "fmt.%s allocates in hot-path func %s", fname, name)}
+	}
+	if p.isBuiltin(call, "make") {
+		return []Diagnostic{p.diag(call, "hotpath-alloc", "make allocates in hot-path func %s", name)}
+	}
+	if p.isBuiltin(call, "new") {
+		return []Diagnostic{p.diag(call, "hotpath-alloc", "new allocates in hot-path func %s", name)}
+	}
+	if p.isBuiltin(call, "append") && len(call.Args) > 0 {
+		root := rootIdent(call.Args[0])
+		if root == nil || !growable[p.Info.Uses[root]] {
+			target := "<expr>"
+			if root != nil {
+				target = root.Name
+			}
+			return []Diagnostic{p.diag(call, "hotpath-alloc",
+				"append to %q, which is not derived from a parameter of hot-path func %s (growing a fresh slice allocates; thread a reusable buffer in instead)", target, name)}
+		}
+	}
+	return nil
+}
+
+// isStringBytesConv reports whether (dst, src) is a conversion between
+// string and []byte or []rune in either direction.
+func isStringBytesConv(dst, src types.Type) bool {
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// growableSlices computes the set of variables in fn that a hot-path
+// append may legally grow: the parameters and receiver, plus locals
+// whose every binding derives from an already-growable variable (e.g.
+// cs := (*counts)[:0], or buf := pool.Get().(*[]T)). The relation is
+// closed with a fixed point over the function's assignments.
+func growableSlices(p *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	growable := p.paramObjs(fn)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil || growable[obj] {
+					continue
+				}
+				if p.derivesFromGrowable(as.Rhs[i], growable) {
+					growable[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return growable
+}
+
+// derivesFromGrowable reports whether rhs is built from an
+// already-growable variable. An append call derives only from its
+// first argument — append(fresh, param...) grows fresh, not param, so
+// mentioning a parameter in the appended values must not launder a
+// fresh slice into a growable one.
+func (p *Package) derivesFromGrowable(rhs ast.Expr, growable map[types.Object]bool) bool {
+	if call, ok := rhs.(*ast.CallExpr); ok && p.isBuiltin(call, "append") {
+		if len(call.Args) == 0 {
+			return false
+		}
+		return p.derivesFromGrowable(call.Args[0], growable)
+	}
+	return p.mentionsAny(rhs, growable)
+}
+
+// capturedVar returns the name of a variable that lit captures from the
+// enclosing function fn, or "" when the closure only touches its own
+// declarations and package-level state.
+func (p *Package) capturedVar(fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the closure literal.
+		if obj.Pos() >= fn.Pos() && obj.Pos() < fn.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			captured = id.Name
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeDeterminism forbids ranging over maps in packages whose
+// floating-point summation order is pinned for bit-identical results
+// (Config.PinnedOrderPkgs). Go randomizes map iteration order, and
+// float addition is not associative, so one `for k := range m` feeding
+// an accumulator makes feature vectors differ run to run — breaking the
+// snapshot tests and the differential oracles. Sites that drain a map
+// into a slice and sort before any order-sensitive arithmetic are
+// legitimate; suppress those with //lint:ignore and say why.
+var MapRangeDeterminism = &Analyzer{
+	Name: "map-range-determinism",
+	Doc:  "no map iteration in pinned-summation-order packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Package, cfg Config) []Diagnostic {
+	if !appliesTo(cfg.PinnedOrderPkgs, p.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				diags = append(diags, p.diag(rs, "map-range-determinism",
+					"range over map %s iterates in random order in a pinned-order package (sort the keys first, or suppress with a reason)",
+					types.TypeString(t, types.RelativeTo(p.Pkg))))
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PoolPairing enforces scratch-buffer discipline: every sync.Pool.Get
+// must be paired, in the same function, with a Put on the same pool
+// that dominates every exit — either a defer, or a plain Put call on
+// every return path that follows the Get. A leaked Get silently turns
+// the pooled zero-allocation path back into a fresh allocation per
+// call, which is exactly the regression the pool exists to prevent.
+var PoolPairing = &Analyzer{
+	Name: "pool-pairing",
+	Doc:  "every sync.Pool.Get needs a dominating Put in the same function",
+	Run:  runPoolPairing,
+}
+
+func runPoolPairing(p *Package, _ Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, fn := range p.funcDecls() {
+		diags = append(diags, lintPoolFunc(p, fn)...)
+	}
+	return diags
+}
+
+// poolCall reports whether call is pool.<method>() on a sync.Pool and
+// returns the pool expression's printed form as the pairing key.
+func (p *Package) poolCall(call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil || !isNamedType(t, "sync", "Pool") {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// exprString renders the small expressions pools are addressed by
+// (identifiers, selectors, derefs) into a stable key.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	default:
+		return "<pool>"
+	}
+}
+
+// lintPoolFunc checks every Get in fn for a dominating Put.
+func lintPoolFunc(p *Package, fn *ast.FuncDecl) []Diagnostic {
+	keys := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure is its own frame; its Gets are checked when it is the body under test
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, ok := p.poolCall(call, "Get"); ok {
+				keys[key] = true
+			}
+		}
+		return true
+	})
+	var diags []Diagnostic
+	for key := range keys {
+		w := &poolWalker{p: p, key: key}
+		st := w.walkStmts(fn.Body.List, poolState{})
+		// Falling off the end of the body is an implicit return.
+		if st.leaks() {
+			w.violations = append(w.violations, p.diag(fn.Body, "pool-pairing",
+				"%s.Get is not followed by %s.Put before the end of %s", key, key, fn.Name.Name))
+		}
+		diags = append(diags, w.violations...)
+	}
+	return diags
+}
+
+// poolState tracks one pool's Get/Put pairing along a statement path.
+type poolState struct {
+	afterGet  bool // a Get has executed on this path
+	havePut   bool // a plain Put has executed since the Get
+	haveDefer bool // a deferred Put covers every subsequent exit
+}
+
+// leaks reports whether exiting in this state abandons a Get.
+func (st poolState) leaks() bool { return st.afterGet && !st.havePut && !st.haveDefer }
+
+type poolWalker struct {
+	p          *Package
+	key        string
+	violations []Diagnostic
+}
+
+// walkStmts threads poolState through a statement list, checking each
+// return it encounters.
+func (w *poolWalker) walkStmts(stmts []ast.Stmt, st poolState) poolState {
+	for _, s := range stmts {
+		st = w.walkStmt(s, st)
+	}
+	return st
+}
+
+// branch checks a conditionally-executed subtree with a copy of the
+// inherited state and merges only its leak back into the fall-through
+// path: a Put inside a branch is not credited to code after it (the
+// branch may not run — the conservative direction, which can demand an
+// extra Put but never misses a leak), while a Get the branch fails to
+// pair poisons the fall-through so the function end reports it.
+func (w *poolWalker) branch(st poolState, stmts ...ast.Stmt) poolState {
+	for _, s := range stmts {
+		if s == nil {
+			continue
+		}
+		if out := w.walkStmt(s, st); out.leaks() {
+			st.afterGet = true
+		}
+	}
+	return st
+}
+
+func (w *poolWalker) walkStmt(s ast.Stmt, st poolState) poolState {
+	switch x := s.(type) {
+	case *ast.DeferStmt:
+		if key, ok := w.p.poolCall(x.Call, "Put"); ok && key == w.key {
+			st.haveDefer = true
+		}
+		// A deferred closure that Puts also covers the exits.
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok && w.nodeCalls(lit.Body, "Put") {
+			st.haveDefer = true
+		}
+	case *ast.ReturnStmt:
+		if st.leaks() {
+			w.violations = append(w.violations, w.p.diag(x, "pool-pairing",
+				"return after %s.Get without %s.Put on this path", w.key, w.key))
+		}
+	case *ast.BlockStmt:
+		st = w.walkStmts(x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		st = w.branch(st, x.Body, x.Else)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		st = w.branch(st, x.Body)
+	case *ast.RangeStmt:
+		st = w.branch(st, x.Body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		st = w.branch(st, clauseBodies(s)...)
+	case *ast.LabeledStmt:
+		st = w.walkStmt(x.Stmt, st)
+	default:
+		if w.nodeCalls(s, "Put") && st.afterGet {
+			st.havePut = true
+		}
+		if w.nodeCalls(s, "Get") {
+			st.afterGet = true
+			st.havePut = false
+		}
+	}
+	return st
+}
+
+// clauseBodies flattens the case/comm clause bodies of a switch or
+// select into one statement list per clause.
+func clauseBodies(s ast.Stmt) []ast.Stmt {
+	var body *ast.BlockStmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	var out []ast.Stmt
+	for _, c := range body.List {
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, &ast.BlockStmt{List: cl.Body})
+		case *ast.CommClause:
+			out = append(out, &ast.BlockStmt{List: cl.Body})
+		}
+	}
+	return out
+}
+
+// nodeCalls reports whether the subtree calls this pool's given method,
+// not descending into nested function literals.
+func (w *poolWalker) nodeCalls(n ast.Node, method string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if key, ok := w.p.poolCall(call, method); ok && key == w.key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

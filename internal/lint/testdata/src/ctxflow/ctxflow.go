@@ -1,0 +1,25 @@
+// Package ctxflow is a catslint fixture: a function that receives a
+// context and then detaches its callees from it.
+package ctxflow
+
+import "context"
+
+// query pretends to hit a cancellable backend.
+func query(ctx context.Context, q string) string {
+	_ = ctx
+	return q
+}
+
+// Handler receives a context and drops it twice.
+func Handler(ctx context.Context, q string) string {
+	a := query(context.Background(), q)
+	b := query(detach(), q)
+	c := query(ctx, q)
+	return a + b + c
+}
+
+// detach has no ctx parameter, so minting a root context here is not
+// the rule's business: clean.
+func detach() context.Context {
+	return context.TODO()
+}

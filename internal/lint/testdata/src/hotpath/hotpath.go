@@ -1,0 +1,50 @@
+// Package hotpath is a catslint fixture: known-bad allocating
+// constructs inside //cats:hotpath functions. Every diagnostic line is
+// pinned by the table in lint_test.go.
+package hotpath
+
+import "fmt"
+
+// stringify converts and formats inside the hot path.
+//
+//cats:hotpath
+func stringify(b []byte, n int) string {
+	s := string(b)
+	_ = []byte(s)
+	return fmt.Sprintf("%s/%d", s, n)
+}
+
+// grow allocates fresh buffers inside the hot path.
+//
+//cats:hotpath
+func grow(xs []int) []int {
+	tmp := make([]int, 0, len(xs))
+	m := map[string]int{}
+	_ = m
+	var fresh []int
+	fresh = append(fresh, xs...)
+	total := 0
+	bump := func() { total++ }
+	bump()
+	_ = tmp
+	return fresh
+}
+
+// ok is hot-path clean: it only grows parameter-derived buffers, so it
+// must produce no diagnostics.
+//
+//cats:hotpath
+func ok(dst []int, xs []int) []int {
+	out := dst[:0]
+	out = append(out, xs...)
+	return out
+}
+
+// cold does everything grow does but carries no annotation, so none of
+// it is flagged.
+func cold(xs []int) []int {
+	var fresh []int
+	fresh = append(fresh, xs...)
+	_ = fmt.Sprint(len(fresh))
+	return fresh
+}

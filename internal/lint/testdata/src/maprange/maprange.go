@@ -1,0 +1,33 @@
+// Package maprange is a catslint fixture: float accumulation in map
+// iteration order inside a pinned-summation-order package.
+package maprange
+
+// Mean sums in random map order — the exact bug the rule exists for.
+func Mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Count is order-independent and suppressed with a reason: clean.
+func Count(m map[string]float64) int {
+	n := 0
+	//lint:ignore map-range-determinism integer counting is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Reasonless carries a suppression with no justification: the ignore
+// itself is reported and does not suppress the range.
+func Reasonless(m map[string]int) int {
+	n := 0
+	//lint:ignore map-range-determinism
+	for range m {
+		n++
+	}
+	return n
+}

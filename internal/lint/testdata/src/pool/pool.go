@@ -1,0 +1,49 @@
+// Package pool is a catslint fixture: sync.Pool Gets leaked on return
+// paths, next to correctly-paired uses.
+package pool
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// leaky gets a buffer but forgets it on the early return.
+func leaky(xs []string) int {
+	b := bufs.Get().(*[]byte)
+	if len(xs) == 0 {
+		return 0
+	}
+	n := len(*b)
+	bufs.Put(b)
+	return n
+}
+
+// drop never puts at all; the leak is reported at the function body.
+func drop() {
+	_ = bufs.Get()
+}
+
+// deferred pairs its Get with a deferred Put: clean.
+func deferred() int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b)
+}
+
+// straight pairs its Get with a Put on the single return path: clean.
+func straight() int {
+	b := bufs.Get().(*[]byte)
+	n := len(*b)
+	bufs.Put(b)
+	return n
+}
+
+// looped gets and puts inside each iteration: clean.
+func looped(runs int) int {
+	n := 0
+	for i := 0; i < runs; i++ {
+		b := bufs.Get().(*[]byte)
+		n += len(*b)
+		bufs.Put(b)
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+// Package wallclock is a catslint fixture: wall-clock reads and
+// globally-seeded randomness inside a deterministic package.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the globally-seeded source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Seeded builds an explicitly-seeded generator: reproducible, clean.
+func Seeded(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// Epoch demonstrates the trailing same-line suppression form: clean.
+func Epoch() int64 {
+	return time.Now().Unix() //lint:ignore no-wallclock-rand fixture: exercises the trailing suppression form
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoWallclockRand keeps deterministic packages reproducible: no wall
+// clock (time.Now/Since/Until) and no globally-seeded randomness (the
+// math/rand package-level functions, whose shared source is seeded from
+// entropy). Snapshots, differential fuzz oracles, and the bit-identical
+// feature vectors all assume the same inputs produce the same bytes on
+// every run. Explicitly-seeded generators — rand.New(rand.NewSource(k))
+// with a fixed k — are reproducible and stay allowed.
+var NoWallclockRand = &Analyzer{
+	Name: "no-wallclock-rand",
+	Doc:  "no time.Now or global math/rand in deterministic packages",
+	Run:  runNoWallclockRand,
+}
+
+// seededRandCtors are the math/rand entry points that build an
+// explicitly-seeded generator rather than touching the global source.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runNoWallclockRand(p *Package, cfg Config) []Diagnostic {
+	if !appliesTo(cfg.DeterministicPkgs, p.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := p.pkgFunc(call, "time"); ok && (name == "Now" || name == "Since" || name == "Until") {
+				diags = append(diags, p.diag(call, "no-wallclock-rand",
+					"time.%s reads the wall clock in deterministic package %s", name, p.Pkg.Name()))
+			}
+			for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+				if name, ok := p.pkgFunc(call, randPath); ok && !seededRandCtors[name] {
+					diags = append(diags, p.diag(call, "no-wallclock-rand",
+						"%s.%s uses the globally-seeded source in deterministic package %s (use rand.New(rand.NewSource(seed)))",
+						randPath, name, p.Pkg.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

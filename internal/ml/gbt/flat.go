@@ -52,6 +52,8 @@ func (f *flatEnsemble) push(n *node) int32 {
 }
 
 // leaf walks one tree from root and returns the reached leaf's weight.
+//
+//cats:hotpath
 func (f *flatEnsemble) leaf(root int32, x []float64) float64 {
 	nodes := f.nodes
 	i := root
@@ -68,6 +70,8 @@ func (f *flatEnsemble) leaf(root int32, x []float64) float64 {
 // margin accumulates base + lr·leaf over the first n trees, in tree
 // order — the same additive order as the pointer walk, so the result is
 // bit-identical.
+//
+//cats:hotpath
 func (f *flatEnsemble) margin(x []float64, base, lr float64, n int) float64 {
 	m := base
 	for _, root := range f.roots[:n] {
@@ -83,8 +87,11 @@ func (f *flatEnsemble) margin(x []float64, base, lr float64, n int) float64 {
 // many vectors (core.scoreBatch, the throughput experiments) stream the
 // flat node array through cache once per tree walk instead of
 // re-entering the classifier per item.
+//
+//cats:hotpath
 func (c *Classifier) PredictMarginBatch(X [][]float64, out []float64) []float64 {
 	if out == nil {
+		//lint:ignore hotpath-alloc a nil out is the caller explicitly opting into one allocation; reusing callers pass their own buffer
 		out = make([]float64, len(X))
 	}
 	out = out[:len(X)]
@@ -96,6 +103,8 @@ func (c *Classifier) PredictMarginBatch(X [][]float64, out []float64) []float64 
 
 // PredictProbaBatch is PredictMarginBatch squashed through the
 // logistic: out[i] = P(fraud|X[i]), bit-identical to PredictProba.
+//
+//cats:hotpath
 func (c *Classifier) PredictProbaBatch(X [][]float64, out []float64) []float64 {
 	out = c.PredictMarginBatch(X, out)
 	for i, m := range out {

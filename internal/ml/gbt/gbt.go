@@ -336,11 +336,14 @@ func predictNode(n *node, x []float64) float64 {
 	return n.weight
 }
 
+//cats:hotpath
 func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
 
 // PredictMargin returns the raw additive score (log-odds) for x. The
 // walk runs over the flattened ensemble; predictMarginTrees is the
 // retained pointer-walk reference the equivalence tests pin it against.
+//
+//cats:hotpath
 func (c *Classifier) PredictMargin(x []float64) float64 {
 	if c.flat != nil {
 		return c.flat.margin(x, c.baseScore, c.cfg.LearningRate, len(c.flat.roots))

@@ -68,6 +68,8 @@ func Train(docs [][]string, labels []int) (*Model, error) {
 // fraud-comment concentration near 1), while short or mixed documents
 // stay graded instead of snapping to {0, 1} the way a raw Naive Bayes
 // posterior would.
+//
+//cats:hotpath
 func (m *Model) Score(words []string) float64 {
 	if !m.fitted || len(words) == 0 {
 		return 0.5

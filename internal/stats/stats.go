@@ -256,6 +256,8 @@ func EntropyAndDistinct(words []string) (entropy float64, distinct int) {
 // *counts's capacity is reused for the sorted count slice. With warmed
 // scratch the call allocates nothing. Results are bit-identical to
 // EntropyAndDistinct (counts are summed in the same sorted order).
+//
+//cats:hotpath
 func EntropyAndDistinctScratch(words []string, freq map[string]int, counts *[]int) (entropy float64, distinct int) {
 	if len(words) == 0 {
 		return 0, 0
@@ -264,11 +266,13 @@ func EntropyAndDistinctScratch(words []string, freq map[string]int, counts *[]in
 	return entropyAndDistinct(words, freq, counts)
 }
 
+//cats:hotpath
 func entropyAndDistinct(words []string, freq map[string]int, counts *[]int) (entropy float64, distinct int) {
 	for _, w := range words {
 		freq[w]++
 	}
 	cs := (*counts)[:0]
+	//lint:ignore map-range-determinism the counts are drained into cs and sorted below; no float is summed in map order
 	for _, c := range freq {
 		cs = append(cs, c)
 	}
@@ -294,6 +298,7 @@ type WordCount struct {
 // tables, Appendix Tables VIII/IX).
 func TopWords(counts map[string]int, k int) []WordCount {
 	out := make([]WordCount, 0, len(counts))
+	//lint:ignore map-range-determinism the pairs are fully sorted below (count desc, then word); iteration order cannot show
 	for w, c := range counts {
 		out = append(out, WordCount{w, c})
 	}

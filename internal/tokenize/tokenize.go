@@ -113,12 +113,16 @@ func (s *Segmenter) SegmentAll(text string) []Token {
 // slice, skipping whitespace runs like Segment. Passing dst[:0] across
 // comments reuses its capacity, so a warmed buffer segments with zero
 // allocations.
+//
+//cats:hotpath
 func (s *Segmenter) AppendTokens(dst []Token, text string) []Token {
 	return s.appendTokens(dst, text, false)
 }
 
 // AppendTokensAll is AppendTokens keeping whitespace runs as KindSpace
 // tokens, like SegmentAll.
+//
+//cats:hotpath
 func (s *Segmenter) AppendTokensAll(dst []Token, text string) []Token {
 	return s.appendTokens(dst, text, true)
 }
@@ -133,6 +137,8 @@ func (s *Segmenter) Words(text string) []string {
 // WordsAppend appends text's word tokens to dst and returns the
 // extended slice. The appended strings are zero-copy substrings of
 // text; with a reused dst the pass allocates nothing.
+//
+//cats:hotpath
 func (s *Segmenter) WordsAppend(dst []string, text string) []string {
 	bufp := tokenScratch.Get().(*[]Token)
 	toks := s.appendTokens((*bufp)[:0], text, false)
@@ -160,6 +166,8 @@ func (s *Segmenter) Segmentations() int64 { return s.calls.Load() }
 // latin, digit) extend byte offsets, dictionary matches come from the
 // flattened trie, and each emitted token is text[start:end] with its
 // rune count tallied along the way.
+//
+//cats:hotpath
 func (s *Segmenter) appendTokens(toks []Token, text string, keepSpace bool) []Token {
 	s.calls.Add(1)
 	i := 0
@@ -247,6 +255,8 @@ func init() {
 
 // IsPunct reports whether r is punctuation or a symbol for the purposes
 // of the structural features (Fig 2 / averagePunctuationRatio).
+//
+//cats:hotpath
 func IsPunct(r rune) bool {
 	if uint32(r) < 128 {
 		return asciiPunct[r]
@@ -266,11 +276,14 @@ func IsPunct(r rune) bool {
 	return unicode.IsPunct(r) || unicode.IsSymbol(r)
 }
 
+//cats:hotpath
 func isLatin(r rune) bool {
 	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
 }
 
 // CountPunct counts punctuation runes in text without segmenting.
+//
+//cats:hotpath
 func CountPunct(text string) int {
 	n := 0
 	for _, r := range text {

@@ -93,6 +93,8 @@ func (t *matchTrie) flatten(root *buildNode) {
 }
 
 // child returns the node reached from n via rune r, or -1.
+//
+//cats:hotpath
 func (t *matchTrie) child(n int32, r rune) int32 {
 	lo, hi := t.nodes[n].lo, t.nodes[n].hi
 	for lo < hi {
@@ -116,6 +118,8 @@ func (t *matchTrie) child(n int32, r rune) int32 {
 // Two runes is the same lower bound the forward-maximum-match loop has
 // always used: a one-rune dictionary hit is indistinguishable from the
 // single-rune fallback.
+//
+//cats:hotpath
 func (t *matchTrie) longestMatch(text string, i int) (end, runes int) {
 	cur := int32(0)
 	j, n := i, 0

@@ -2,7 +2,10 @@ package cats
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/synth"
@@ -65,6 +68,129 @@ func TestSystemSaveLoadFile(t *testing.T) {
 	})
 	if _, err := restored.Detect(test.Dataset.Items); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSaveLoadResaveByteStable pins snapshot byte-determinism: saving,
+// loading, and saving again must reproduce the original bytes exactly.
+// Anything less means the segmenter dictionary, lexicons, or tree
+// ensemble is serialized in an unstable (e.g. map-iteration) order,
+// which would break content-addressed model storage and make model
+// diffs meaningless.
+func TestSaveLoadResaveByteStable(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+
+	var first bytes.Buffer
+	if err := sys.Save(&first, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := restored.Save(&second, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("snapshot not byte-stable across save→load→save: %d vs %d bytes", first.Len(), second.Len())
+	}
+
+	// And saving the same system twice is stable too.
+	var again bytes.Buffer
+	if err := sys.Save(&again, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("two saves of the same system differ")
+	}
+}
+
+// TestLoadTruncated feeds Load every prefix of a valid snapshot at a
+// few cut points: all must error, none may panic or return a
+// half-restored system.
+func TestLoadTruncated(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+	var buf bytes.Buffer
+	if err := sys.Save(&buf, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 0.999} {
+		n := int(float64(len(full)) * frac)
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("loading %d/%d bytes should error", n, len(full))
+		}
+	}
+}
+
+// TestLoadWrongVersion rejects snapshots from an incompatible format
+// version with a useful error rather than misreading them.
+func TestLoadWrongVersion(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+	var buf bytes.Buffer
+	if err := sys.Save(&buf, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap["version"] = 999
+	mangled, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(mangled)); err == nil {
+		t.Fatal("future-version snapshot should be rejected")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("error should mention the version mismatch, got: %v", err)
+	}
+}
+
+// TestLoadValidJSONWrongShape: parseable JSON that is not a snapshot
+// (or is an empty one) must error, not yield a detector that panics on
+// first use.
+func TestLoadValidJSONWrongShape(t *testing.T) {
+	for _, body := range []string{`{}`, `[]`, `{"version":1}`, `"hello"`, `null`} {
+		if _, err := Load(bytes.NewBufferString(body)); err == nil {
+			t.Errorf("Load(%q) should error", body)
+		}
+	}
+}
+
+// TestSaveFileUnwritable surfaces filesystem errors from SaveFile
+// instead of swallowing them.
+func TestSaveFileUnwritable(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+	path := filepath.Join(t.TempDir(), "missing-dir", "model.json")
+	if err := sys.SaveFile(path, bank.Vocabulary()); err == nil {
+		t.Fatal("SaveFile into a missing directory should error")
+	}
+}
+
+// TestSaveFileCorruptRoundTripFile corrupts the on-disk snapshot and
+// checks LoadFile reports it.
+func TestSaveFileCorruptRoundTripFile(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := sys.SaveFile(path, bank.Vocabulary()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("truncated snapshot file should fail to load")
 	}
 }
 
