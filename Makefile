@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race check bench bench-smoke fuzz-smoke experiments cover clean
+.PHONY: all build vet lint test test-race check bench bench-smoke fuzz-smoke serve-smoke experiments cover clean
 
 all: build vet test
 
@@ -43,6 +43,13 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentDifferential -fuzztime=10s ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzIsPunct -fuzztime=10s ./internal/tokenize
+
+# End-to-end lifecycle smoke of the serving binary (CI runs this):
+# train a tiny model, boot catsserve, probe /healthz + /readyz, POST a
+# detect batch, assert the pipeline counters surface on /metrics, and
+# require a clean SIGTERM drain.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Regenerate every paper table and figure at the default scales.
 experiments:

@@ -1,20 +1,32 @@
 // Command catsserve serves a trained CATS model over HTTP (see
-// repro/internal/service for the API).
+// repro/internal/service for the API) in production shape: an
+// http.Server with sane timeouts, Prometheus metrics on /metrics,
+// liveness and readiness probes on /healthz and /readyz, optional
+// pprof on a side listener, and graceful shutdown on SIGINT/SIGTERM
+// (readiness flips to 503, in-flight requests drain, then the process
+// exits 0 after logging how many items it served).
 //
 // Usage:
 //
-//	catsserve -model model.json [-addr :8080]
+//	catsserve -model model.json [-addr :8080] [-pprof-addr 127.0.0.1:6060]
+//	          [-shutdown-timeout 15s]
 //
 // Models are produced by `cats -train ... -save-model model.json` or
-// the library's System.SaveFile.
+// the library's System.SaveFile. See README "Operating catsserve".
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/service"
@@ -24,6 +36,10 @@ func main() {
 	var (
 		modelPath = flag.String("model", "", "trained model JSON (required)")
 		addr      = flag.String("addr", ":8080", "listen address")
+		pprofAddr = flag.String("pprof-addr", "",
+			"optional side listener for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second,
+			"how long to drain in-flight requests on SIGINT/SIGTERM before giving up")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -48,8 +64,63 @@ func main() {
 		// /v1/drift endpoint tracks traffic divergence automatically.
 		TrainingSample: det.TrainingSample(),
 	})
-	log.Printf("catsserve: listening on %s (drift tracking: %v)", *addr, len(det.TrainingSample()) > 0)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow-client protection: bound header reads, whole-request
+		// reads, and response writes. The write timeout leaves room for
+		// a full 10k-item batch detect.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
+	// Shutdown sequencing: on the first SIGINT/SIGTERM, flip /readyz to
+	// 503 (load balancers stop routing here), then drain in-flight
+	// requests up to -shutdown-timeout. A second signal kills the
+	// process the default way (stop() reinstalls default handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		stop()
+		log.Printf("catsserve: shutdown signal received; draining (timeout %s)", *shutdownTimeout)
+		srv.SetReady(false)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(drainCtx)
+	}()
+
+	log.Printf("catsserve: listening on %s (drift tracking: %v, pprof: %q)",
+		*addr, len(det.TrainingSample()) > 0, *pprofAddr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("catsserve: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		log.Printf("catsserve: drain incomplete: %v", err)
+	}
+	log.Printf("catsserve: exiting cleanly; served %d items", srv.ItemsServed())
+}
+
+// servePprof exposes the pprof handlers on their own mux and listener,
+// so profiling never shares a port (or an access policy) with the
+// public API.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ps := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := ps.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("catsserve: pprof listener: %v", err)
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -16,6 +17,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro"
 	"repro/internal/core"
@@ -132,4 +134,32 @@ func main() {
 	}
 	fmt.Printf("drift after %d scored items: max per-feature KS %.3f (alert if it climbs)\n",
 		drift.ItemsObserved, drift.MaxKS)
+
+	// 6. Scrape the Prometheus endpoint the way a monitoring stack
+	// would, and pull out the pipeline's own accounting of the batch:
+	// requests served, items scored vs dropped by the rule filter, and
+	// the analyze-stage latency distribution.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mr.Body.Close()
+	fmt.Println("key metrics after the batch:")
+	sc := bufio.NewScanner(mr.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range []string{
+			"cats_http_requests_total",
+			"cats_pipeline_items_total",
+			"cats_pipeline_stage_seconds_count",
+			"cats_features_comments_analyzed_total",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ml/naivebayes"
 	"repro/internal/ml/svm"
 	"repro/internal/ml/tree"
+	"repro/internal/obs"
 )
 
 // ClassifierKind selects the detector's binary classifier — the six
@@ -230,14 +231,20 @@ type Detection struct {
 func (d *Detector) analyzeOne(item *ecom.Item) (det Detection, v []float64, needScore bool) {
 	det = Detection{ItemID: item.ID}
 	if !d.cfg.DisableRuleFilter && item.SalesVolume < d.cfg.MinSalesVolume {
+		mItemsFilteredSales.Inc()
 		det.Filtered = true
 		return det, nil, false
 	}
+	sp := obs.StartSpan(mStageAnalyze)
 	v, hasPositive := d.extractor.VectorSignal(item)
+	sp.End()
+	mCommentsAnalyzed.Add(uint64(len(item.Comments)))
 	if !d.cfg.DisableRuleFilter && !hasPositive {
+		mItemsFilteredSignal.Inc()
 		det.Filtered = true
 		return det, v, false
 	}
+	mItemsScored.Inc()
 	return det, v, true
 }
 
@@ -246,8 +253,10 @@ func (d *Detector) analyzeOne(item *ecom.Item) (det Detection, v []float64, need
 func (d *Detector) scoreOne(item *ecom.Item) (Detection, []float64) {
 	det, v, need := d.analyzeOne(item)
 	if need {
-		det.Score = d.clf.PredictProba(v)
-		det.IsFraud = det.Score >= d.cfg.Threshold
+		sp := obs.StartSpan(mStageScore)
+		score := d.clf.PredictProba(v)
+		sp.End()
+		d.applyScore(&det, score)
 	}
 	return det, v
 }
@@ -266,6 +275,8 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 	if !d.trained {
 		return nil, nil, ErrNotTrained
 	}
+	mBatches.Inc()
+	mBatchSize.Observe(float64(len(items)))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -287,7 +298,10 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 				if batchScoring {
 					pending = append(pending, i)
 				} else {
-					d.applyScore(&dets[i], d.clf.PredictProba(X[i]))
+					sp := obs.StartSpan(mStageScore)
+					score := d.clf.PredictProba(X[i])
+					sp.End()
+					d.applyScore(&dets[i], score)
 				}
 			}
 		}
@@ -305,7 +319,10 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 				var need bool
 				dets[i], X[i], need = d.analyzeOne(&items[i])
 				if need && !batchScoring {
-					d.applyScore(&dets[i], d.clf.PredictProba(X[i]))
+					sp := obs.StartSpan(mStageScore)
+					score := d.clf.PredictProba(X[i])
+					sp.End()
+					d.applyScore(&dets[i], score)
 				}
 				needScore[i] = need
 			}
@@ -358,6 +375,7 @@ func (d *Detector) scorePending(g *gbt.Classifier, dets []Detection, X [][]float
 	if chunk < minScoreChunk {
 		chunk = minScoreChunk
 	}
+	sp := obs.StartSpan(mStageScore)
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(pending); lo += chunk {
 		hi := lo + chunk
@@ -371,6 +389,7 @@ func (d *Detector) scorePending(g *gbt.Classifier, dets []Detection, X [][]float
 		}(lo, hi)
 	}
 	wg.Wait()
+	sp.End()
 	for k, i := range pending {
 		d.applyScore(&dets[i], scores[k])
 	}

@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/obs"
+
+// Pipeline instrumentation (DESIGN.md §10). Handles are resolved once
+// at package init on the process-wide registry, so the per-item cost in
+// the detection loop is an atomic add (counters) or two wall-clock
+// reads plus atomic adds (spans). The stage taxonomy follows the fused
+// pipeline of §6: "analyze" is the single tokenize→filter→features pass
+// (segmentation and feature assembly are one stage by construction),
+// "score" is the classifier.
+var (
+	pipelineItems = obs.Default.CounterVec("cats_pipeline_items_total",
+		"Items through the two-stage detection pipeline, by outcome: scored, "+
+			"filtered_sales (dropped by the stage-one sales cutoff before any "+
+			"text analysis), filtered_signal (analyzed, then dropped for lacking "+
+			"a positive word or 2-gram).", "outcome")
+	mItemsScored         = pipelineItems.With("scored")
+	mItemsFilteredSales  = pipelineItems.With("filtered_sales")
+	mItemsFilteredSignal = pipelineItems.With("filtered_signal")
+
+	mBatches = obs.Default.Counter("cats_pipeline_batches_total",
+		"Detection batches dispatched (Detect/DetectContext/DetectStream chunks).")
+	mBatchSize = obs.Default.Histogram("cats_pipeline_batch_size",
+		"Items per detection batch.", obs.SizeBuckets)
+
+	pipelineStage = obs.Default.HistogramVec("cats_pipeline_stage_seconds",
+		"Pipeline stage latency in seconds. analyze = the fused "+
+			"tokenize+filter+features pass, observed per item; score = the "+
+			"classifier, observed per scoring call (per batch for the flattened "+
+			"GBT ensemble, per item otherwise).", obs.LatencyBuckets, "stage")
+	mStageAnalyze = pipelineStage.With("analyze")
+	mStageScore   = pipelineStage.With("score")
+
+	mCommentsAnalyzed = obs.Default.Counter("cats_pipeline_comments_total",
+		"Comments fed through the fused analysis pass.")
+)

@@ -147,12 +147,14 @@ func (c *Crawler) Run(ctx context.Context, seeds []string, handle Handler) (Stat
 	enqueue := func(url string) {
 		if !robots.allowed(url) {
 			atomic.AddInt64(&stats.RobotsExcluded, 1)
+			mRobotsExcluded.Inc()
 			return
 		}
 		mu.Lock()
 		if _, ok := seen[url]; ok {
 			mu.Unlock()
 			atomic.AddInt64(&stats.Duplicates, 1)
+			mDuplicates.Inc()
 			return
 		}
 		seen[url] = struct{}{}
@@ -229,6 +231,7 @@ func (c *Crawler) process(ctx context.Context, url string, limiter *time.Ticker,
 			if resp.StatusCode != http.StatusOK {
 				// Permanent-ish (404 etc.): count as failure, no retry.
 				atomic.AddInt64(&stats.Failures, 1)
+				mFailures.Inc()
 				return
 			}
 			if herr := handle(resp, enqueue); herr != nil {
@@ -236,14 +239,17 @@ func (c *Crawler) process(ctx context.Context, url string, limiter *time.Ticker,
 				return
 			}
 			atomic.AddInt64(&stats.Fetched, 1)
+			mFetched.Inc()
 			return
 		}
 		// Transient: 5xx or transport error.
 		if attempt >= c.cfg.MaxRetries {
 			atomic.AddInt64(&stats.Failures, 1)
+			mFailures.Inc()
 			return
 		}
 		atomic.AddInt64(&stats.Retries, 1)
+		mRetries.Inc()
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():

@@ -1,0 +1,20 @@
+package crawler
+
+import "repro/internal/obs"
+
+// Crawl outcome counters (DESIGN.md §10). These mirror the per-crawl
+// Stats struct but accumulate process-wide on the shared registry, so
+// an operator watching /metrics sees fetch health across every crawl
+// the process has run.
+var (
+	crawlEvents = obs.Default.CounterVec("cats_crawl_events_total",
+		"Crawler events by kind: fetched (page handled), retry (transient "+
+			"failure re-attempted), failure (page abandoned), duplicate "+
+			"(enqueue suppressed by the seen-set), robots_excluded (enqueue "+
+			"rejected by robots.txt).", "event")
+	mFetched        = crawlEvents.With("fetched")
+	mRetries        = crawlEvents.With("retry")
+	mFailures       = crawlEvents.With("failure")
+	mDuplicates     = crawlEvents.With("duplicate")
+	mRobotsExcluded = crawlEvents.With("robots_excluded")
+)

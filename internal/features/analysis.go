@@ -138,6 +138,8 @@ func (e *Extractor) analyzeComment(sc *scratch, content string) CommentAnalysis 
 	}
 	ca.Entropy, ca.DistinctWords = stats.EntropyAndDistinctScratch(ca.Words, sc.freq, &sc.counts)
 	ca.Sentiment = e.sent.Score(ca.Words)
+	mCommentsAnalyzed.Inc()
+	mWordsAnalyzed.Add(uint64(len(ca.Words)))
 	return ca
 }
 

@@ -1,0 +1,15 @@
+package features
+
+import "repro/internal/obs"
+
+// Analysis throughput counters (DESIGN.md §10). features is a
+// deterministic package (catslint's no-wallclock-rand scope), so it may
+// only touch obs counters — pure atomic adds that cannot change any
+// output — and must never open obs spans: stage timing around the
+// analysis pass lives in core, outside the determinism boundary.
+var (
+	mCommentsAnalyzed = obs.Default.Counter("cats_features_comments_analyzed_total",
+		"Comments measured by the single-pass analysis layer (one segmentation each).")
+	mWordsAnalyzed = obs.Default.Counter("cats_features_words_total",
+		"Word tokens produced by analysis-layer segmentation passes.")
+)

@@ -86,6 +86,19 @@ type Config struct {
 	// is pinned for bit-identical results: no map iteration
 	// (map-range-determinism).
 	PinnedOrderPkgs []string
+	// WallclockExemptPkgs are packages excused from no-wallclock-rand
+	// even when DeterministicPkgs covers them. The observability layer
+	// (internal/obs) exists to read the wall clock; naming it here —
+	// instead of sprinkling inline ignores through it — keeps the
+	// policy auditable in one place.
+	WallclockExemptPkgs []string
+	// WallclockBridges names, per package (import-path suffix, like the
+	// other lists), the package-level functions that read the wall
+	// clock, so a deterministic package cannot launder time.Now through
+	// another package's API: calling obs.StartSpan from
+	// internal/features is exactly as nondeterministic as calling
+	// time.Now there, and no-wallclock-rand flags both.
+	WallclockBridges map[string][]string
 }
 
 // DefaultConfig is the repository's rule scoping: the segmentation,
@@ -103,6 +116,15 @@ var DefaultConfig = Config{
 	PinnedOrderPkgs: []string{
 		"internal/stats",
 		"internal/features",
+	},
+	WallclockExemptPkgs: []string{
+		"internal/obs",
+	},
+	WallclockBridges: map[string][]string{
+		// obs counters are pure atomic adds and stay allowed in
+		// deterministic packages; StartSpan is the layer's only
+		// wall-clock entry point.
+		"internal/obs": {"StartSpan"},
 	},
 }
 
@@ -440,6 +462,25 @@ func (p *Package) pkgFunc(call *ast.CallExpr, pkgPath string) (string, bool) {
 		return "", false
 	}
 	return sel.Sel.Name, true
+}
+
+// callPkgPath reports the imported package path and function name of a
+// package-selector call (obs.StartSpan → "repro/internal/obs",
+// "StartSpan"), or ok=false for anything else.
+func (p *Package) callPkgPath(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
 }
 
 // isBuiltin reports whether call invokes the named builtin.

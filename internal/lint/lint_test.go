@@ -19,12 +19,19 @@ type want struct {
 // fixtureCfg scopes the package-scoped rules onto the fixture packages
 // the way DefaultConfig scopes them onto the real tree.
 var fixtureCfg = Config{
-	DeterministicPkgs: []string{"fix/wallclock"},
-	PinnedOrderPkgs:   []string{"fix/maprange"},
+	DeterministicPkgs:   []string{"fix/wallclock", "fix/obsfix", "fix/obsbridge"},
+	PinnedOrderPkgs:     []string{"fix/maprange"},
+	WallclockExemptPkgs: []string{"fix/obsfix"},
+	WallclockBridges:    map[string][]string{"fix/obsfix": {"StartSpan"}},
 }
 
 func TestFixtureCorpus(t *testing.T) {
 	r := NewRunner()
+	// Pre-load the obs stand-in so fixtures importing fix/obsfix
+	// type-check regardless of subtest filtering order.
+	if _, err := r.load(filepath.Join("testdata", "src", "obsfix"), "fix/obsfix"); err != nil {
+		t.Fatalf("load obsfix fixture: %v", err)
+	}
 	cases := []struct {
 		pkg  string
 		want []want
@@ -69,6 +76,22 @@ func TestFixtureCorpus(t *testing.T) {
 			want: []want{
 				{"no-wallclock-rand", 12, "time.Now reads the wall clock"},
 				{"no-wallclock-rand", 17, "math/rand.Float64 uses the globally-seeded source"},
+			},
+		},
+		{
+			// Deterministic in the fixture config, but exempted through
+			// WallclockExemptPkgs: its time.Now/Since calls are clean
+			// without any inline ignore.
+			pkg:  "obsfix",
+			want: nil,
+		},
+		{
+			// Deterministic package laundering the wall clock through the
+			// obs span API: the bridge call is flagged, the counter-shaped
+			// Observe call is not.
+			pkg: "obsbridge",
+			want: []want{
+				{"no-wallclock-rand", 13, "reads the wall clock through fix/obsfix"},
 			},
 		},
 	}

@@ -1,0 +1,20 @@
+// Package obsbridge is a catslint fixture: a deterministic package
+// reaching the wall clock through the observability layer's span API
+// instead of calling time.Now directly — equally nondeterministic,
+// equally flagged.
+package obsbridge
+
+import "fix/obsfix"
+
+var hist obsfix.Histogram
+
+// Timed launders time.Now through the obsfix span entry point.
+func Timed() {
+	sp := obsfix.StartSpan(&hist)
+	sp.End()
+}
+
+// Counted updates a counter-shaped obs API: no wall clock, clean.
+func Counted() {
+	hist.Observe(1)
+}

@@ -1,0 +1,28 @@
+// Package obsfix is a catslint fixture standing in for internal/obs:
+// it reads the wall clock legitimately and is exempted through the rule
+// config's WallclockExemptPkgs — even though the fixture config also
+// names it in DeterministicPkgs, the exemption wins and it lints clean
+// with no inline ignores.
+package obsfix
+
+import "time"
+
+// Histogram is a stand-in latency sink.
+type Histogram struct{ Sum float64 }
+
+// Observe records one value — the counter-shaped API deterministic
+// callers may use freely.
+func (h *Histogram) Observe(v float64) { h.Sum += v }
+
+// Span is an open stage timing.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan opens a wall-clock span: exempt here, a bridge finding in
+// deterministic callers (see WallclockBridges).
+func StartSpan(h *Histogram) Span { return Span{h: h, start: time.Now()} }
+
+// End closes the span.
+func (s Span) End() { s.h.Observe(time.Since(s.start).Seconds()) }

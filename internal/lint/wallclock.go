@@ -2,18 +2,28 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
+	"strings"
 )
 
 // NoWallclockRand keeps deterministic packages reproducible: no wall
-// clock (time.Now/Since/Until) and no globally-seeded randomness (the
+// clock (time.Now/Since/Until), no globally-seeded randomness (the
 // math/rand package-level functions, whose shared source is seeded from
-// entropy). Snapshots, differential fuzz oracles, and the bit-identical
-// feature vectors all assume the same inputs produce the same bytes on
-// every run. Explicitly-seeded generators — rand.New(rand.NewSource(k))
-// with a fixed k — are reproducible and stay allowed.
+// entropy), and no wall-clock bridges — package-level functions of
+// other packages that read the clock on the caller's behalf (the obs
+// span API; see Config.WallclockBridges). Snapshots, differential fuzz
+// oracles, and the bit-identical feature vectors all assume the same
+// inputs produce the same bytes on every run. Explicitly-seeded
+// generators — rand.New(rand.NewSource(k)) with a fixed k — are
+// reproducible and stay allowed, as are obs counters (pure atomic adds
+// that cannot feed back into outputs).
+//
+// Packages in Config.WallclockExemptPkgs (the observability layer
+// itself) are skipped entirely, even when DeterministicPkgs covers
+// them: the exemption lives in the rule config, not in inline ignores.
 var NoWallclockRand = &Analyzer{
 	Name: "no-wallclock-rand",
-	Doc:  "no time.Now or global math/rand in deterministic packages",
+	Doc:  "no time.Now, global math/rand, or wall-clock bridge calls in deterministic packages",
 	Run:  runNoWallclockRand,
 }
 
@@ -22,9 +32,17 @@ var NoWallclockRand = &Analyzer{
 var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
 func runNoWallclockRand(p *Package, cfg Config) []Diagnostic {
+	if appliesTo(cfg.WallclockExemptPkgs, p.Path) {
+		return nil
+	}
 	if !appliesTo(cfg.DeterministicPkgs, p.Path) {
 		return nil
 	}
+	bridges := make([]string, 0, len(cfg.WallclockBridges))
+	for suffix := range cfg.WallclockBridges {
+		bridges = append(bridges, suffix)
+	}
+	sort.Strings(bridges)
 	var diags []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -41,6 +59,20 @@ func runNoWallclockRand(p *Package, cfg Config) []Diagnostic {
 					diags = append(diags, p.diag(call, "no-wallclock-rand",
 						"%s.%s uses the globally-seeded source in deterministic package %s (use rand.New(rand.NewSource(seed)))",
 						randPath, name, p.Pkg.Name()))
+				}
+			}
+			if path, name, ok := p.callPkgPath(call); ok {
+				for _, suffix := range bridges {
+					if path != suffix && !strings.HasSuffix(path, "/"+suffix) {
+						continue
+					}
+					for _, fn := range cfg.WallclockBridges[suffix] {
+						if name == fn {
+							diags = append(diags, p.diag(call, "no-wallclock-rand",
+								"%s.%s reads the wall clock through %s in deterministic package %s (open the span in a caller outside the determinism boundary)",
+								path, name, suffix, p.Pkg.Name()))
+						}
+					}
 				}
 			}
 			return true

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "concurrent increments")
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "concurrent observes", []float64{1, 2, 4})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w%4) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	var total uint64
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != workers*perWorker {
+		t.Errorf("bucket sum = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "ups and downs")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %d, want 2", got)
+	}
+}
+
+func TestVecSharesSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_labeled_total", "labels", "route")
+	a, b := v.With("/x"), v.With("/x")
+	if a != b {
+		t.Fatal("same label values resolved to different counters")
+	}
+	a.Inc()
+	v.With("/y").Add(2)
+	if a.Value() != 1 || v.With("/y").Value() != 2 {
+		t.Errorf("series values = %d, %d; want 1, 2", a.Value(), v.With("/y").Value())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second registration finds the first")
+	if a != b {
+		t.Fatal("re-registering the same counter produced a new instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "wrong kind")
+}
+
+func TestRegistrationLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("labeled_total", "help", "route")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different label keys did not panic")
+		}
+	}()
+	r.CounterVec("labeled_total", "help", "code")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "bucket placement", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	// le semantics: 0.05 and 0.1 land in le=0.1; 0.5 and 1.0 in le=1;
+	// 5 in le=10; 100 overflows to +Inf.
+	want := []uint64{2, 2, 1, 1}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if sum := h.Sum(); math.Abs(sum-106.65) > 1e-9 {
+		t.Errorf("sum = %g, want 106.65", sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "quantile interpolation", []float64{1, 2, 3, 4})
+	// 100 observations uniform over the le=1 and le=2 buckets.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// Rank 50 sits exactly at the top of the first bucket.
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	// Rank 90 is 80%% of the way through the (1,2] bucket.
+	if got := h.Quantile(0.9); math.Abs(got-1.8) > 1e-9 {
+		t.Errorf("p90 = %g, want 1.8", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %g, want 0", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p100 = %g, want 2", got)
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("of_seconds", "overflow clamps", []float64{1, 2})
+	h.Observe(50)
+	h.Observe(60)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("p99 = %g, want clamp to highest bound 2", got)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("e_seconds", "empty", []float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestSpanObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "span records", LatencyBuckets)
+	sp := StartSpan(h)
+	d := sp.End()
+	if d < 0 {
+		t.Errorf("span duration negative: %v", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("histogram count = %d after one span, want 1", h.Count())
+	}
+	// A nil-histogram span still measures without panicking.
+	if StartSpan(nil).End() < 0 {
+		t.Error("nil-histogram span returned a negative duration")
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// Span is an open stage timing: StartSpan reads the wall clock once,
+// End reads it again and records the elapsed seconds into the span's
+// histogram. A Span is a two-word value — opening and closing one
+// allocates nothing, so per-item spans are safe inside the detection
+// batch loop.
+//
+// StartSpan is the observability layer's only wall-clock entry point.
+// Deterministic packages must not call it: catslint's no-wallclock-rand
+// rule names it a wall-clock bridge (internal/lint, DefaultConfig's
+// WallclockBridges), so laundering time.Now through a span is a lint
+// finding, not a silent determinism leak.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan opens a span that will observe into h. A nil h yields a
+// span that only measures (End still returns the duration).
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End closes the span, records the elapsed time into the histogram in
+// seconds, and returns the duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Observe(d.Seconds())
+	}
+	return d
+}

@@ -10,13 +10,19 @@
 //	GET  /v1/lexicon     — the expanded positive/negative word sets
 //	GET  /v1/drift       — scored-traffic vs training feature drift (KS)
 //	GET  /healthz        — liveness
+//	GET  /readyz         — readiness (503 while draining or not yet ready)
+//	GET  /metrics        — Prometheus text-format metrics (internal/obs)
 //
-// All payloads are JSON. Request bodies are size-capped and malformed
-// input yields 400 rather than 500.
+// All payloads are JSON. Request bodies are size-capped (oversized
+// bodies yield 413), malformed input yields 400 rather than 500, and a
+// wrong method yields 405 with an Allow header. Every route is wrapped
+// in obs HTTP middleware: per-route request counts by status code,
+// per-route latency histograms, and an in-flight gauge.
 package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -27,6 +33,7 @@ import (
 	"repro/internal/ecom"
 	"repro/internal/features"
 	"repro/internal/ml/gbt"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -48,6 +55,10 @@ type Options struct {
 	// DriftReservoir caps the retained scored-traffic sample per
 	// feature; <= 0 means 4096.
 	DriftReservoir int
+	// Registry receives the service's HTTP metrics and backs /metrics;
+	// nil means obs.Default (which also carries the pipeline's own
+	// counters and stage histograms).
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +81,9 @@ type Server struct {
 	detector *core.Detector
 	analyzer *core.Analyzer
 	served   atomic.Int64
+	ready    atomic.Bool
+	reg      *obs.Registry
+	httpm    *obs.HTTPMetrics
 
 	// drift state: a bounded reservoir of scored-traffic feature
 	// vectors (guarded by driftMu).
@@ -79,15 +93,37 @@ type Server struct {
 	driftRng  *rand.Rand
 }
 
-// New builds a Server around a trained detector.
+// New builds a Server around a trained detector. The server starts
+// ready; SetReady(false) flips /readyz to 503 (catsserve does this
+// before draining on shutdown, so load balancers stop routing to it).
 func New(det *core.Detector, analyzer *core.Analyzer, opts Options) *Server {
-	return &Server{
-		opts:     opts.withDefaults(),
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Server{
+		opts:     opts,
 		detector: det,
 		analyzer: analyzer,
+		reg:      reg,
+		httpm:    obs.NewHTTPMetrics(reg),
 		driftRng: rand.New(rand.NewSource(1)),
 	}
+	s.ready.Store(true)
+	return s
 }
+
+// SetReady flips the /readyz verdict. It does not affect request
+// handling — in-flight and new requests still complete — only what the
+// readiness probe reports.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current /readyz verdict.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Registry exposes the metrics registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // recordDrift reservoir-samples scored feature vectors.
 func (s *Server) recordDrift(vectors [][]float64) {
@@ -111,18 +147,54 @@ func (s *Server) recordDrift(vectors [][]float64) {
 // ItemsServed reports the number of items scored since start.
 func (s *Server) ItemsServed() int64 { return s.served.Load() }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route is wrapped
+// in the obs HTTP middleware and enforces its method, answering 405
+// with an Allow header otherwise.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/detect", s.handleDetect)
-	mux.HandleFunc("/v1/explain", s.handleExplain)
-	mux.HandleFunc("/v1/importance", s.handleImportance)
-	mux.HandleFunc("/v1/drift", s.handleDrift)
-	mux.HandleFunc("/v1/lexicon", s.handleLexicon)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern, method string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.httpm.Wrap(pattern, allowMethod(method, h)))
+	}
+	route("/v1/detect", http.MethodPost, s.handleDetect)
+	route("/v1/explain", http.MethodPost, s.handleExplain)
+	route("/v1/importance", http.MethodGet, s.handleImportance)
+	route("/v1/drift", http.MethodGet, s.handleDrift)
+	route("/v1/lexicon", http.MethodGet, s.handleLexicon)
+	route("/healthz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "items_served": s.ItemsServed()})
 	})
+	route("/readyz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+	mux.Handle("/metrics", s.httpm.Wrap("/metrics", s.reg.Handler()))
 	return mux
+}
+
+// allowMethod gates a handler to one method, answering anything else
+// with 405 and an Allow header as RFC 9110 requires.
+func allowMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, method+" required")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decodeStatus maps a JSON decode failure to its status: 413 when the
+// MaxBytesReader cap tripped, 400 for malformed input.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // DetectRequest is the /v1/detect request body.
@@ -145,14 +217,10 @@ type DetectResponse struct {
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	var req DetectRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		writeError(w, decodeStatus(err), fmt.Sprintf("decode request: %v", err))
 		return
 	}
 	if len(req.Items) == 0 {
@@ -212,14 +280,10 @@ type ExplainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
 	var req ExplainRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		writeError(w, decodeStatus(err), fmt.Sprintf("decode request: %v", err))
 		return
 	}
 	det, vec, err := s.detector.DetectItemWithFeatures(&req.Item)

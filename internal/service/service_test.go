@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -131,8 +133,64 @@ func TestBodySizeCap(t *testing.T) {
 	_, ts, _ := newTestService(t, Options{MaxBodyBytes: 64})
 	big := `{"items":[{"item_id":"` + strings.Repeat("x", 500) + `"}]}`
 	resp, _ := postDetect(t, ts.URL, []byte(big))
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/v1/detect", "POST"},
+		{http.MethodGet, "/v1/explain", "POST"},
+		{http.MethodPost, "/v1/importance", "GET"},
+		{http.MethodPost, "/v1/drift", "GET"},
+		{http.MethodPost, "/v1/lexicon", "GET"},
+		{http.MethodDelete, "/healthz", "GET"},
+		{http.MethodPost, "/readyz", "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s status = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	srv, ts, _ := newTestService(t, Options{})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready status = %d, want 200", resp.StatusCode)
+	}
+	srv.SetReady(false)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if srv.Ready() {
+		t.Error("Ready() = true after SetReady(false)")
 	}
 }
 
@@ -419,5 +477,86 @@ func TestDetectSegmentsOncePerComment(t *testing.T) {
 	}
 	if got := seg.Segmentations() - before; got != analyzed {
 		t.Fatalf("/v1/detect ran %d segmentation passes, want %d (one per analyzed comment)", got, analyzed)
+	}
+}
+
+// scrapeMetric fetches /metrics and sums the values of every sample
+// line whose name+labels start with prefix.
+func scrapeMetric(t *testing.T, baseURL, prefix string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	var total float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		total += v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestMetricsEndpoint scrapes /metrics around a /v1/detect call and
+// asserts the request counter, the pipeline outcome counters (including
+// rule-filter drops), and the per-stage latency histograms all moved.
+// Counters live on the shared default registry, so only deltas are
+// asserted.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, test := newTestService(t, Options{})
+	items := append([]ecom.Item(nil), test.Dataset.Items...)
+	for i := range items {
+		if i%2 == 0 {
+			items[i].SalesVolume = 1 // below the stage-one sales cutoff
+		}
+	}
+	probes := map[string]string{
+		"requests": `cats_http_requests_total{route="/v1/detect",code="200"}`,
+		"scored":   `cats_pipeline_items_total{outcome="scored"}`,
+		"dropped":  `cats_pipeline_items_total{outcome="filtered_sales"}`,
+		"analyze":  `cats_pipeline_stage_seconds_count{stage="analyze"}`,
+		"score":    `cats_pipeline_stage_seconds_count{stage="score"}`,
+		"comments": `cats_features_comments_analyzed_total`,
+		"batch":    `cats_pipeline_batch_size_count`,
+	}
+	before := map[string]float64{}
+	for k, prefix := range probes {
+		before[k] = scrapeMetric(t, ts.URL, prefix)
+	}
+	body, err := json.Marshal(DetectRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postDetect(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect status = %d", resp.StatusCode)
+	}
+	for k, prefix := range probes {
+		if after := scrapeMetric(t, ts.URL, prefix); after <= before[k] {
+			t.Errorf("%s (%s) did not move: before %g, after %g", k, prefix, before[k], after)
+		}
+	}
+	if n := scrapeMetric(t, ts.URL, `cats_pipeline_items_total{outcome="filtered_sales"}`); n < float64(len(items)/2) {
+		t.Errorf("filtered_sales = %g, want at least %d", n, len(items)/2)
+	}
+	// The in-flight gauge must be back to zero between requests.
+	if g := scrapeMetric(t, ts.URL, "cats_http_in_flight"); g != 1 {
+		// 1, not 0: the /metrics request reading the gauge is itself in flight.
+		t.Errorf("in-flight during scrape = %g, want 1", g)
 	}
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end lifecycle smoke for cmd/catsserve.
+#
+# Trains a tiny model, boots catsserve, probes /healthz, /readyz and
+# /metrics (asserting the pipeline's own counters moved after a
+# /v1/detect), then sends SIGTERM and requires a clean exit. CI runs
+# this via `make serve-smoke`; it needs only the go toolchain and curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SERVE_SMOKE_PORT:-18473}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill -KILL "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+echo "== serve-smoke: train a tiny model"
+go run ./cmd/catsgen -dataset d0 -scale 0.004 -out "${WORK}/train.jsonl"
+go run ./cmd/cats -train "${WORK}/train.jsonl" -corpus 2000 \
+  -save-model "${WORK}/model.json" \
+  -detect "${WORK}/train.jsonl" -out /dev/null
+
+echo "== serve-smoke: boot catsserve on ${BASE}"
+go build -o "${WORK}/catsserve" ./cmd/catsserve
+"${WORK}/catsserve" -model "${WORK}/model.json" -addr "127.0.0.1:${PORT}" \
+  -shutdown-timeout 10s &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "${BASE}/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "serve-smoke: FAIL: server died during startup" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "${BASE}/healthz" >/dev/null
+curl -fsS "${BASE}/readyz" >/dev/null
+echo "== serve-smoke: /healthz and /readyz OK"
+
+echo "== serve-smoke: POST /v1/detect"
+ITEM_JSON="$(head -n 1 "${WORK}/train.jsonl")"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/v1/detect" >/dev/null
+
+echo "== serve-smoke: scrape /metrics"
+METRICS="$(curl -fsS "${BASE}/metrics")"
+for want in \
+  'cats_http_requests_total{route="/v1/detect",code="200"}' \
+  'cats_pipeline_items_total' \
+  'cats_pipeline_stage_seconds_count{stage="analyze"}' \
+  'cats_features_comments_analyzed_total'; do
+  if ! grep -qF "${want}" <<<"${METRICS}"; then
+    echo "serve-smoke: FAIL: /metrics is missing ${want}" >&2
+    exit 1
+  fi
+done
+echo "== serve-smoke: metric names present and counting"
+
+echo "== serve-smoke: SIGTERM graceful shutdown"
+kill -TERM "${SERVER_PID}"
+STATUS=0
+wait "${SERVER_PID}" || STATUS=$?
+SERVER_PID=""
+if [[ "${STATUS}" -ne 0 ]]; then
+  echo "serve-smoke: FAIL: catsserve exited ${STATUS} on SIGTERM" >&2
+  exit 1
+fi
+echo "== serve-smoke: PASS"
