@@ -36,13 +36,15 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Run each differential fuzz oracle briefly (CI does this per PR): the
-# trie segmenter against the map-based reference, and the table-driven
-# IsPunct against the unicode-package definition. -fuzz takes a single
-# target per invocation, hence two runs.
+# Run each fuzz target briefly (CI does this per PR): the trie
+# segmenter against the map-based reference, the table-driven IsPunct
+# against the unicode-package definition, and the service's request
+# decoder against arbitrary bodies (never a 5xx). -fuzz takes a single
+# target per invocation, hence the separate runs.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentDifferential -fuzztime=10s ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzIsPunct -fuzztime=10s ./internal/tokenize
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=10s ./internal/service
 
 # End-to-end lifecycle smoke of the serving binary (CI runs this):
 # train a tiny model, boot catsserve, probe /healthz + /readyz, POST a

@@ -6,7 +6,7 @@
 //
 //	catsbench [-exp all|table1|table3|table4|table5|table6|
 //	           fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig10|fig11|fig12|fig13|
-//	           eplatform|riskyusers|throughput|
+//	           eplatform|riskyusers|throughput|serve|
 //	           filterablation|featureablation|lexiconablation|gbtablation]
 //	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
 //	          [-json]
@@ -61,7 +61,7 @@ var experimentOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "appendix",
 	"fig10", "fig11", "fig12", "fig13",
 	"eplatform", "riskyusers", "timeaspect", "deployment", "thresholdsweep", "robustness",
-	"learningcurve", "roundscurve", "throughput",
+	"learningcurve", "roundscurve", "throughput", "serve",
 	"filterablation", "featureablation", "lexiconablation", "gbtablation",
 }
 
@@ -147,6 +147,8 @@ func run(lab *experiments.Lab, exp string, asJSON bool) error {
 		out, err = lab.RoundsCurve()
 	case "throughput":
 		out, err = lab.Throughput()
+	case "serve":
+		out, err = lab.Serve()
 	case "filterablation":
 		out, err = lab.FilterAblation()
 	case "featureablation":

@@ -6,10 +6,19 @@
 // (readiness flips to 503, in-flight requests drain, then the process
 // exits 0 after logging how many items it served).
 //
+// Detection traffic is served through the adaptive batching dispatcher
+// by default (DESIGN.md §11): concurrent requests coalesce into fused
+// scoring batches, identical in-flight items score once, and when the
+// admission queue saturates excess requests are shed with 503 +
+// Retry-After instead of queuing into latency collapse. The -batch-*
+// and -queue-depth flags tune it; -batch=false restores the
+// one-scoring-call-per-request behavior.
+//
 // Usage:
 //
 //	catsserve -model model.json [-addr :8080] [-pprof-addr 127.0.0.1:6060]
-//	          [-shutdown-timeout 15s]
+//	          [-shutdown-timeout 15s] [-batch] [-batch-max-size 256]
+//	          [-batch-max-wait 2ms] [-queue-depth 4096] [-retry-after 1s]
 //
 // Models are produced by `cats -train ... -save-model model.json` or
 // the library's System.SaveFile. See README "Operating catsserve".
@@ -29,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/service"
 )
 
@@ -40,6 +50,16 @@ func main() {
 			"optional side listener for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM before giving up")
+		batch = flag.Bool("batch", true,
+			"coalesce concurrent detect requests into fused scoring batches")
+		batchMaxSize = flag.Int("batch-max-size", 256,
+			"flush a batch once this many items are queued")
+		batchMaxWait = flag.Duration("batch-max-wait", 2*time.Millisecond,
+			"flush a batch at most this long after the first item queues")
+		queueDepth = flag.Int("queue-depth", 4096,
+			"bound on queued items; requests beyond it are shed with 503")
+		retryAfter = flag.Duration("retry-after", time.Second,
+			"Retry-After hint sent with shed (503) responses")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -59,11 +79,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("catsserve: %v", err)
 	}
-	srv := service.New(det, analyzer, service.Options{
+	opts := service.Options{
 		// Saved models carry their drift baseline; with it set the
 		// /v1/drift endpoint tracks traffic divergence automatically.
 		TrainingSample: det.TrainingSample(),
-	})
+	}
+	if *batch {
+		opts.Batching = &dispatch.Options{
+			MaxBatch:   *batchMaxSize,
+			MaxWait:    *batchMaxWait,
+			MaxQueue:   *queueDepth,
+			RetryAfter: *retryAfter,
+		}
+	}
+	srv := service.New(det, analyzer, opts)
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -98,6 +127,13 @@ func main() {
 		shutdownErr <- httpSrv.Shutdown(drainCtx)
 	}()
 
+	if d := srv.Dispatcher(); d != nil {
+		o := d.Options()
+		log.Printf("catsserve: batching on (max-size %d, max-wait %s, queue-depth %d, retry-after %s)",
+			o.MaxBatch, o.MaxWait, o.MaxQueue, o.RetryAfter)
+	} else {
+		log.Printf("catsserve: batching off; each request scores its own batch")
+	}
 	log.Printf("catsserve: listening on %s (drift tracking: %v, pprof: %q)",
 		*addr, len(det.TrainingSample()) > 0, *pprofAddr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -106,6 +142,9 @@ func main() {
 	if err := <-shutdownErr; err != nil {
 		log.Printf("catsserve: drain incomplete: %v", err)
 	}
+	// In-flight HTTP requests are drained; flush whatever the batcher
+	// still holds so every admitted waiter got its verdict.
+	srv.Close()
 	log.Printf("catsserve: exiting cleanly; served %d items", srv.ItemsServed())
 }
 

@@ -18,9 +18,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/textgen"
@@ -72,10 +75,14 @@ func main() {
 	}
 	srv := service.New(det, analyzer, service.Options{
 		TrainingSample: det.TrainingSample(), // enables /v1/drift
+		// Production shape (DESIGN.md §11): concurrent detect requests
+		// coalesce into fused scoring batches behind a bounded queue.
+		Batching: &dispatch.Options{MaxBatch: 64, MaxWait: 2 * time.Millisecond},
 	})
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fmt.Printf("detection service live at %s\n", ts.URL)
+	fmt.Printf("detection service live at %s (batching on)\n", ts.URL)
 
 	// 3. The platform pipeline POSTs item batches.
 	batch := synth.Generate(synth.Config{
@@ -108,7 +115,28 @@ func main() {
 	fmt.Printf("batch of %d items → %d reported, %d confirmed against ground truth\n",
 		len(out.Detections), out.Reported, confirmed)
 
-	// 4. Inspect the served model.
+	// 4. Platform traffic is concurrent and repetitive: many pipeline
+	// shards ask about the same trending items at once. The dispatcher
+	// coalesces the burst into a handful of fused batches and scores
+	// each distinct item once.
+	hot := batch.Dataset.Items[:4]
+	var wg sync.WaitGroup
+	for c := 0; c < 24; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			one, _ := json.Marshal(service.DetectRequest{Items: hot[c%len(hot) : c%len(hot)+1]})
+			r, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(one))
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.Body.Close()
+		}(c)
+	}
+	wg.Wait()
+	fmt.Printf("burst: 24 concurrent single-item requests over %d hot items coalesced by the batcher\n", len(hot))
+
+	// 5. Inspect the served model.
 	ir, err := http.Get(ts.URL + "/v1/importance")
 	if err != nil {
 		log.Fatal(err)
@@ -121,7 +149,7 @@ func main() {
 	fmt.Printf("top features by split count: %s, %s, %s\n",
 		imp.Features[0].Feature, imp.Features[1].Feature, imp.Features[2].Feature)
 
-	// 5. Monitor drift: compare scored traffic against the model's
+	// 6. Monitor drift: compare scored traffic against the model's
 	// shipped training baseline.
 	dr, err := http.Get(ts.URL + "/v1/drift")
 	if err != nil {
@@ -135,10 +163,11 @@ func main() {
 	fmt.Printf("drift after %d scored items: max per-feature KS %.3f (alert if it climbs)\n",
 		drift.ItemsObserved, drift.MaxKS)
 
-	// 6. Scrape the Prometheus endpoint the way a monitoring stack
+	// 7. Scrape the Prometheus endpoint the way a monitoring stack
 	// would, and pull out the pipeline's own accounting of the batch:
-	// requests served, items scored vs dropped by the rule filter, and
-	// the analyze-stage latency distribution.
+	// requests served, items scored vs dropped by the rule filter, the
+	// analyze-stage latency distribution, and the batcher's coalescing
+	// and shedding counters.
 	mr, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -153,6 +182,10 @@ func main() {
 			"cats_pipeline_items_total",
 			"cats_pipeline_stage_seconds_count",
 			"cats_features_comments_analyzed_total",
+			"cats_serve_batches_total",
+			"cats_serve_batch_size_count",
+			"cats_serve_coalesced_total",
+			"cats_serve_shed_total",
 		} {
 			if strings.HasPrefix(line, prefix) {
 				fmt.Printf("  %s\n", line)

@@ -1,0 +1,170 @@
+package cats
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ecom"
+	"repro/internal/synth"
+)
+
+// goldenMixes are the traffic shapes the end-to-end fixture locks down:
+// a filter-heavy batch where half the items fall below the stage-one
+// sales cutoff (exercising the rule filter and nil feature rows), and a
+// fraud-heavy batch dominated by promoted items (exercising the
+// classifier's positive region).
+var goldenMixes = []struct {
+	name string
+	gen  func() []ecom.Item
+}{
+	{
+		name: "filter_heavy",
+		gen: func() []ecom.Item {
+			u := synth.Generate(synth.Config{
+				Name: "golden-filter", Seed: 2601,
+				FraudEvidence: 30, Normal: 90, Shops: 6,
+			})
+			items := u.Dataset.Items
+			for i := range items {
+				if i%2 == 0 {
+					items[i].SalesVolume = 1 // below the rule-filter cutoff
+				}
+			}
+			return items
+		},
+	},
+	{
+		name: "fraud_heavy",
+		gen: func() []ecom.Item {
+			u := synth.Generate(synth.Config{
+				Name: "golden-fraud", Seed: 2602,
+				FraudEvidence: 80, FraudManual: 20, Normal: 40, Shops: 6,
+			})
+			return u.Dataset.Items
+		},
+	},
+}
+
+// goldenFixture renders the full pipeline output — verdicts plus the
+// 11-feature matrix — into canonical bytes. Floats are printed with
+// %.9g so the fixture is stable across architectures that contract
+// float expressions differently (FMA); rule-filtered items have no
+// feature row and render as "-".
+func goldenFixture(t *testing.T, sys *System, items []ecom.Item) []byte {
+	t.Helper()
+	dets, feats, err := sys.Detector().DetectWithFeatures(context.Background(), items, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(items) || len(feats) != len(items) {
+		t.Fatalf("pipeline shapes: %d detections, %d feature rows for %d items",
+			len(dets), len(feats), len(items))
+	}
+	var reported int
+	for _, d := range dets {
+		if d.IsFraud {
+			reported++
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# golden e2e fixture: %d items, %d reported, %d features\n",
+		len(items), reported, len(FeatureNames))
+	for i, d := range dets {
+		if d.ItemID != items[i].ID {
+			t.Fatalf("detection %d is for %q, want %q (order broken)", i, d.ItemID, items[i].ID)
+		}
+		row := "-"
+		if feats[i] != nil {
+			parts := make([]string, len(feats[i]))
+			for j, v := range feats[i] {
+				parts[j] = fmt.Sprintf("%.9g", v)
+			}
+			row = strings.Join(parts, ",")
+		} else if !d.Filtered {
+			t.Fatalf("item %q: nil feature row but not filtered", d.ItemID)
+		}
+		fmt.Fprintf(&b, "%s score=%.9g fraud=%v filtered=%v features=%s\n",
+			d.ItemID, d.Score, d.IsFraud, d.Filtered, row)
+	}
+	return b.Bytes()
+}
+
+// TestGoldenEndToEnd trains the full pipeline from fixed seeds, runs
+// two characteristic detection mixes, and byte-compares the rendered
+// verdicts + feature matrix against checked-in fixtures. Any change to
+// segmentation, lexicon expansion, sentiment, feature extraction, the
+// rule filter, or the classifier shows up here as a fixture diff.
+//
+// The same bytes are recomputed from a second, independently trained
+// system within the test, so the fixture also proves the whole train →
+// detect path is deterministic for a fixed seed set (workers=4: the
+// parallel extraction path must not perturb results).
+//
+// Regenerate after an intentional pipeline change with:
+//
+//	CATS_UPDATE_GOLDEN=1 go test -run TestGoldenEndToEnd .
+func TestGoldenEndToEnd(t *testing.T) {
+	sys := trainSystem(t)
+	sys2 := trainSystem(t) // independent second build: determinism witness
+
+	for _, mix := range goldenMixes {
+		t.Run(mix.name, func(t *testing.T) {
+			items := mix.gen()
+			got := goldenFixture(t, sys, items)
+			if again := goldenFixture(t, sys2, mix.gen()); !bytes.Equal(got, again) {
+				t.Fatal("two independently trained runs disagree; pipeline is nondeterministic")
+			}
+
+			path := filepath.Join("testdata", "golden", mix.name+".golden")
+			if os.Getenv("CATS_UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture %s (run with CATS_UPDATE_GOLDEN=1 to create): %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("pipeline output diverged from %s\n%s", path, fixtureDiff(want, got))
+			}
+		})
+	}
+}
+
+// fixtureDiff renders the first few differing lines between two
+// fixtures, enough to see what moved without dumping both files.
+func fixtureDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		if shown++; shown == 5 {
+			fmt.Fprintf(&b, "  ... (%d more lines differ at most)\n", len(gl)-i)
+			break
+		}
+	}
+	return b.String()
+}

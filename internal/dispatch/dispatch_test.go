@@ -1,0 +1,436 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ecom"
+)
+
+// scoreOf is the stub's deterministic verdict: a stable hash of the
+// item ID mapped into [0, 1). Tests recover the expected score for any
+// ID without threading state around.
+func scoreOf(id string) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return float64(h.Sum32()%1000) / 1000
+}
+
+// stubScorer is a controllable Scorer: per-ID scoring counts, an
+// optional entry handshake (started/release) to hold a batch open, an
+// optional fixed delay, and an injectable error.
+type stubScorer struct {
+	mu      sync.Mutex
+	calls   int
+	scored  map[string]int
+	started chan struct{} // closed on first call, if non-nil
+	release chan struct{} // first call blocks on this, if non-nil
+	once    sync.Once
+	delay   time.Duration
+	err     error
+}
+
+func (s *stubScorer) DetectWithFeatures(ctx context.Context, items []ecom.Item, workers int) ([]core.Detection, [][]float64, error) {
+	s.mu.Lock()
+	s.calls++
+	if s.scored == nil {
+		s.scored = map[string]int{}
+	}
+	for i := range items {
+		s.scored[items[i].ID]++
+	}
+	err := s.err
+	s.mu.Unlock()
+	if s.started != nil {
+		blocked := false
+		s.once.Do(func() {
+			close(s.started)
+			blocked = true
+		})
+		if blocked && s.release != nil {
+			<-s.release
+		}
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	dets := make([]core.Detection, len(items))
+	X := make([][]float64, len(items))
+	for i := range items {
+		sc := scoreOf(items[i].ID)
+		dets[i] = core.Detection{ItemID: items[i].ID, Score: sc, IsFraud: sc >= 0.5}
+		X[i] = []float64{sc}
+	}
+	return dets, X, nil
+}
+
+func (s *stubScorer) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *stubScorer) timesScored(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scored[id]
+}
+
+func item(id string) ecom.Item { return ecom.Item{ID: id, SalesVolume: 10} }
+
+func items(ids ...string) []ecom.Item {
+	out := make([]ecom.Item, len(ids))
+	for i, id := range ids {
+		out[i] = item(id)
+	}
+	return out
+}
+
+// checkResult asserts a Submit result carries the stub's verdict for
+// every requested ID, in request order, with its feature row.
+func checkResult(t *testing.T, res Result, ids ...string) {
+	t.Helper()
+	if len(res.Detections) != len(ids) {
+		t.Fatalf("got %d detections, want %d", len(res.Detections), len(ids))
+	}
+	for i, id := range ids {
+		if res.Detections[i].ItemID != id {
+			t.Errorf("detection %d is %q, want %q", i, res.Detections[i].ItemID, id)
+		}
+		if want := scoreOf(id); res.Detections[i].Score != want {
+			t.Errorf("score[%s] = %v, want %v", id, res.Detections[i].Score, want)
+		}
+		if len(res.Features[i]) != 1 || res.Features[i][0] != scoreOf(id) {
+			t.Errorf("feature row %d = %v, want [%v]", i, res.Features[i], scoreOf(id))
+		}
+	}
+}
+
+func TestFlushOnMaxBatch(t *testing.T) {
+	stub := &stubScorer{}
+	// MaxWait is an hour: only the size trigger can flush. The test
+	// completing at all proves the size flush fires.
+	d := New(stub, Options{MaxBatch: 4, MaxWait: time.Hour, MaxQueue: 100})
+	defer d.Close()
+	var wg sync.WaitGroup
+	var res1, res2 Result
+	var err1, err2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		res1, err1 = d.Submit(context.Background(), items("a", "b", "c"))
+	}()
+	// Give the first request time to enqueue so the second completes
+	// the batch (ordering is not required for correctness, only for the
+	// single-batch assertion below).
+	for d.QueueDepth() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		defer wg.Done()
+		res2, err2 = d.Submit(context.Background(), items("d"))
+	}()
+	wg.Wait()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	checkResult(t, res1, "a", "b", "c")
+	checkResult(t, res2, "d")
+	if got := stub.callCount(); got != 1 {
+		t.Errorf("scorer calls = %d, want 1 fused batch", got)
+	}
+}
+
+func TestFlushOnMaxWait(t *testing.T) {
+	stub := &stubScorer{}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: 10 * time.Millisecond})
+	defer d.Close()
+	start := time.Now()
+	res, err := d.Submit(context.Background(), items("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "a", "b")
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("flushed after %v, before the 10ms max wait", elapsed)
+	}
+	if got := stub.callCount(); got != 1 {
+		t.Errorf("scorer calls = %d, want 1", got)
+	}
+}
+
+func TestCoalesceIdenticalInFlight(t *testing.T) {
+	stub := &stubScorer{started: make(chan struct{}), release: make(chan struct{})}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: time.Millisecond})
+	defer d.Close()
+
+	const waiters = 10
+	coalescedBefore := mCoalesced.Value()
+	var wg sync.WaitGroup
+	results := make([]Result, waiters+1)
+	errs := make([]error, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = d.Submit(context.Background(), items("hot"))
+	}()
+	<-stub.started // the batch holding "hot" is now inside the scorer
+	for w := 1; w <= waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = d.Submit(context.Background(), items("hot"))
+		}(w)
+	}
+	// Every late submitter must attach to the scoring flight, not queue
+	// a duplicate; the coalesce counter records each attach.
+	for mCoalesced.Value()-coalescedBefore < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	if depth := d.QueueDepth(); depth != 0 {
+		t.Fatalf("queue depth = %d, want 0 (everything coalesced)", depth)
+	}
+	close(stub.release)
+	wg.Wait()
+	for w := 0; w <= waiters; w++ {
+		if errs[w] != nil {
+			t.Fatalf("waiter %d: %v", w, errs[w])
+		}
+		checkResult(t, results[w], "hot")
+	}
+	if got := stub.timesScored("hot"); got != 1 {
+		t.Errorf("item scored %d times for %d waiters, want 1", got, waiters+1)
+	}
+}
+
+func TestDuplicateIDsWithinRequest(t *testing.T) {
+	stub := &stubScorer{}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: time.Millisecond})
+	defer d.Close()
+	res, err := d.Submit(context.Background(), items("x", "y", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "x", "y", "x")
+	if got := stub.timesScored("x"); got != 1 {
+		t.Errorf("duplicate-in-request item scored %d times, want 1", got)
+	}
+}
+
+func TestShedQueueFull(t *testing.T) {
+	stub := &stubScorer{}
+	// No flush can fire: batch threshold and wait are both out of
+	// reach, so the queue stays exactly as filled.
+	d := New(stub, Options{MaxBatch: 100, MaxWait: time.Hour, MaxQueue: 2})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var queuedRes Result
+	var queuedErr error
+	go func() {
+		defer wg.Done()
+		queuedRes, queuedErr = d.Submit(context.Background(), items("a", "b"))
+	}()
+	for d.QueueDepth() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A new item does not fit.
+	if _, err := d.Submit(context.Background(), items("c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Mixed requests shed atomically: nothing is enqueued, even though
+	// "a" would have coalesced.
+	if _, err := d.Submit(context.Background(), items("a", "c")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("mixed err = %v, want ErrQueueFull", err)
+	}
+	if depth := d.QueueDepth(); depth != 2 {
+		t.Fatalf("queue depth after sheds = %d, want 2 (shed must not enqueue)", depth)
+	}
+	// A pure-coalesce request occupies no new slot and is admitted.
+	coalescedBefore := mCoalesced.Value()
+	wg.Add(1)
+	var dupRes Result
+	var dupErr error
+	go func() {
+		defer wg.Done()
+		dupRes, dupErr = d.Submit(context.Background(), items("a"))
+	}()
+	for mCoalesced.Value() == coalescedBefore {
+		time.Sleep(time.Millisecond)
+	}
+	if got := d.InFlight(); got != 2 { // still just a and b
+		t.Fatalf("inflight = %d after coalesced admit, want 2", got)
+	}
+
+	// Close flushes the held queue, releasing every admitted waiter.
+	d.Close()
+	wg.Wait()
+	if queuedErr != nil || dupErr != nil {
+		t.Fatalf("admitted waiters errored: %v, %v", queuedErr, dupErr)
+	}
+	checkResult(t, queuedRes, "a", "b")
+	checkResult(t, dupRes, "a")
+	if !IsShed(ErrQueueFull) {
+		t.Error("IsShed(ErrQueueFull) = false")
+	}
+}
+
+func TestShedHopelessDeadline(t *testing.T) {
+	stub := &stubScorer{}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: 250 * time.Millisecond})
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.Submit(ctx, items("a"))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("shed took %v; must reject immediately, not wait out the deadline", elapsed)
+	}
+	if got := stub.callCount(); got != 0 {
+		t.Errorf("scorer called %d times for a shed request", got)
+	}
+	if !IsShed(err) {
+		t.Error("IsShed(ErrDeadline) = false")
+	}
+}
+
+func TestGenerousDeadlineAdmitted(t *testing.T) {
+	stub := &stubScorer{}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: 5 * time.Millisecond})
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := d.Submit(ctx, items("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "a")
+}
+
+func TestBypassLargeRequest(t *testing.T) {
+	stub := &stubScorer{}
+	d := New(stub, Options{MaxBatch: 4, MaxWait: time.Hour})
+	defer d.Close()
+	// At MaxBatch the request is its own batch: scored synchronously,
+	// no queue involvement, despite the unreachable wait timer.
+	res, err := d.Submit(context.Background(), items("a", "b", "c", "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, "a", "b", "c", "d")
+	if got := stub.callCount(); got != 1 {
+		t.Errorf("scorer calls = %d, want 1", got)
+	}
+	if depth := d.QueueDepth(); depth != 0 {
+		t.Errorf("queue depth = %d after bypass, want 0", depth)
+	}
+}
+
+func TestBatchErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	stub := &stubScorer{err: boom}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: time.Millisecond})
+	defer d.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for w := range errs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = d.Submit(context.Background(), items(fmt.Sprintf("e%d", w)))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("waiter %d err = %v, want boom", w, err)
+		}
+	}
+	if d.InFlight() != 0 {
+		t.Errorf("inflight = %d after errored batch, want 0", d.InFlight())
+	}
+}
+
+func TestWaiterCancellationReleasesOnlyTheWaiter(t *testing.T) {
+	stub := &stubScorer{started: make(chan struct{}), release: make(chan struct{})}
+	d := New(stub, Options{MaxBatch: 100, MaxWait: time.Millisecond})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := make(chan error, 1)
+	go func() {
+		_, err := d.Submit(ctx, items("a"))
+		canceled <- err
+	}()
+	<-stub.started
+	// A second waiter coalesces onto the in-flight item.
+	coalescedBefore := mCoalesced.Value()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var res Result
+	var err2 error
+	go func() {
+		defer wg.Done()
+		res, err2 = d.Submit(context.Background(), items("a"))
+	}()
+	for mCoalesced.Value() == coalescedBefore {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-canceled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return while its batch was blocked")
+	}
+	// The flight itself survives the canceled waiter and still serves
+	// the other one.
+	close(stub.release)
+	wg.Wait()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	checkResult(t, res, "a")
+	if got := stub.timesScored("a"); got != 1 {
+		t.Errorf("item scored %d times, want 1", got)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	d := New(&stubScorer{}, Options{})
+	d.Close()
+	if _, err := d.Submit(context.Background(), items("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if !IsShed(ErrClosed) {
+		t.Error("IsShed(ErrClosed) = false")
+	}
+	d.Close() // idempotent
+}
+
+func TestEmptySubmit(t *testing.T) {
+	stub := &stubScorer{}
+	d := New(stub, Options{})
+	defer d.Close()
+	res, err := d.Submit(context.Background(), nil)
+	if err != nil || len(res.Detections) != 0 {
+		t.Fatalf("empty submit: res=%+v err=%v", res, err)
+	}
+	if stub.callCount() != 0 {
+		t.Error("scorer called for an empty submit")
+	}
+}

@@ -1,0 +1,41 @@
+package dispatch
+
+import "repro/internal/obs"
+
+// Dispatcher instrumentation (DESIGN.md §11). Handles are resolved once
+// at package init on the process-wide registry; every update on the
+// request path is a lock-free atomic. The four headline signals an
+// operator tunes the batcher by: queue depth (admission headroom),
+// batch-size distribution (is coalescing actually happening), shed
+// counts by reason (how overload degrades), and coalesce hits (how much
+// work the singleflight map is saving).
+var (
+	mQueueDepth = obs.Default.Gauge("cats_serve_queue_depth",
+		"Items currently enqueued and awaiting batch dispatch.")
+
+	mBatches = obs.Default.Counter("cats_serve_batches_total",
+		"Fused scoring batches dispatched by the serving batcher.")
+	mBatchSize = obs.Default.Histogram("cats_serve_batch_size",
+		"Items per dispatched serving batch (bypassed oversize requests included).",
+		obs.SizeBuckets)
+
+	shedTotal = obs.Default.CounterVec("cats_serve_shed_total",
+		"Requests shed by admission control instead of being queued, by "+
+			"reason: queue_full (no queue headroom for the request's new "+
+			"items), deadline (the request's context deadline cannot survive "+
+			"a full flush wait), closed (dispatcher shutting down).", "reason")
+	mShedQueueFull = shedTotal.With("queue_full")
+	mShedDeadline  = shedTotal.With("deadline")
+	mShedClosed    = shedTotal.With("closed")
+
+	mCoalesced = obs.Default.Counter("cats_serve_coalesced_total",
+		"Submitted items that attached to an identical in-flight item via "+
+			"the singleflight map instead of being analyzed again.")
+	mBypass = obs.Default.Counter("cats_serve_bypass_total",
+		"Requests at or above the max batch size dispatched directly, "+
+			"skipping the queue (they are already a full batch).")
+
+	mWait = obs.Default.Histogram("cats_serve_wait_seconds",
+		"Time items spend queued before their batch dispatches — bounded "+
+			"by the max-wait flush policy.", obs.LatencyBuckets)
+)

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the JSON-decoding
+// endpoints and pins the service's input contract: malformed, hostile,
+// or merely weird request bodies must never crash the handler or
+// surface as a 5xx — every response is a 2xx (valid request) or a 4xx
+// (rejected request). CI runs this for a short window via the
+// fuzz-smoke job; `go test -fuzz=FuzzDecodeRequest ./internal/service`
+// explores further.
+func FuzzDecodeRequest(f *testing.F) {
+	// Small caps so the fuzzer can reach the limit branches cheaply.
+	_, ts, test := newTestService(f, Options{MaxItems: 4, MaxBodyBytes: 1 << 16})
+
+	// Seeds: one valid request, then the classic decoder traps —
+	// truncation, type confusion, nulls, duplicate keys, deep nesting,
+	// BOMs, invalid UTF-8, number edge cases.
+	if valid, err := json.Marshal(DetectRequest{Items: test.Dataset.Items[:1]}); err == nil {
+		f.Add(valid)
+	}
+	for _, s := range []string{
+		`{"items":[]}`,
+		`{"items":null}`,
+		`{"items":[{}]}`,
+		`{"items":[{"item_id":"a","comments":[{"text":"ok"}]}]}`,
+		`{"items":[{"item_id":"a"},{"item_id":"a"}]}`,
+		`{"items":"not-a-list"}`,
+		`{"items":[{"price_cents":-1,"sales_volume":-99}]}`,
+		`{"items":[{"price_cents":1e309}]}`,
+		`{"items":[{"item_id":123}]}`,
+		`{broken`,
+		``,
+		`null`,
+		`[]`,
+		`"just a string"`,
+		"\xef\xbb\xbf{\"items\":[]}",
+		"{\"items\":[{\"item_id\":\"\xff\xfe\"}]}",
+		`{"items":[{"item_id":"a"}],"items":[{"item_id":"b"}]}`,
+		strings.Repeat(`{"items":`, 100) + strings.Repeat(`}`, 100),
+		`{"items":[` + strings.Repeat(`{"item_id":"x"},`, 9) + `{}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, path := range []string{"/v1/detect", "/v1/explain"} {
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("%s transport error: %v", path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				t.Fatalf("%s returned %d for body %q; arbitrary input must never be a server error",
+					path, resp.StatusCode, body)
+			}
+		}
+	})
+}

@@ -18,18 +18,27 @@
 // wrong method yields 405 with an Allow header. Every route is wrapped
 // in obs HTTP middleware: per-route request counts by status code,
 // per-route latency histograms, and an in-flight gauge.
+//
+// With Options.Batching set, detection requests flow through the
+// internal/dispatch coalescing dispatcher (DESIGN.md §11) instead of
+// each paying its own scoring batch: concurrent requests fuse into
+// shared batches, identical in-flight items score once, and overload
+// sheds with 503 + Retry-After instead of queuing doomed work.
 package service
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/ecom"
 	"repro/internal/features"
 	"repro/internal/ml/gbt"
@@ -59,6 +68,13 @@ type Options struct {
 	// nil means obs.Default (which also carries the pipeline's own
 	// counters and stage histograms).
 	Registry *obs.Registry
+	// Batching, when non-nil, routes /v1/detect and /v1/explain through
+	// a request-coalescing dispatcher with the given tuning: bounded
+	// queue, flush on max-batch-size or max-wait, singleflight dedup of
+	// identical in-flight items, and early shedding (503 + Retry-After)
+	// when the queue is full or a deadline cannot be met. Nil serves
+	// each request with its own scoring batch, as before.
+	Batching *dispatch.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +96,7 @@ type Server struct {
 	opts     Options
 	detector *core.Detector
 	analyzer *core.Analyzer
+	disp     *dispatch.Dispatcher // nil when batching is off
 	served   atomic.Int64
 	ready    atomic.Bool
 	reg      *obs.Registry
@@ -110,9 +127,25 @@ func New(det *core.Detector, analyzer *core.Analyzer, opts Options) *Server {
 		httpm:    obs.NewHTTPMetrics(reg),
 		driftRng: rand.New(rand.NewSource(1)),
 	}
+	if opts.Batching != nil {
+		s.disp = dispatch.New(det, *opts.Batching)
+	}
 	s.ready.Store(true)
 	return s
 }
+
+// Close drains the batching dispatcher, if any: queued work flushes,
+// in-flight batches complete, and further detect requests answer 503.
+// catsserve calls this after the HTTP server finishes its shutdown.
+func (s *Server) Close() {
+	if s.disp != nil {
+		s.disp.Close()
+	}
+}
+
+// Dispatcher exposes the batching dispatcher, or nil when batching is
+// off.
+func (s *Server) Dispatcher() *dispatch.Dispatcher { return s.disp }
 
 // SetReady flips the /readyz verdict. It does not affect request
 // handling — in-flight and new requests still complete — only what the
@@ -234,8 +267,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	// One fused pass: the detector returns the feature matrix it
 	// computed while scoring, so drift recording costs no re-extraction.
-	dets, X, err := s.detector.DetectWithFeatures(r.Context(), req.Items, s.opts.Workers)
+	// With batching on, the dispatcher may satisfy part of the request
+	// from batches shared with concurrent callers.
+	dets, X, err := s.detect(r, req.Items)
 	if err != nil {
+		if dispatch.IsShed(err) {
+			s.writeShed(w)
+			return
+		}
 		if r.Context().Err() != nil {
 			return // client went away; nobody is listening
 		}
@@ -266,6 +305,31 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// detect scores a request's items through the batching dispatcher when
+// configured, or the detector's own fused batch path otherwise.
+func (s *Server) detect(r *http.Request, items []ecom.Item) ([]core.Detection, [][]float64, error) {
+	if s.disp != nil {
+		res, err := s.disp.Submit(r.Context(), items)
+		return res.Detections, res.Features, err
+	}
+	return s.detector.DetectWithFeatures(r.Context(), items, s.opts.Workers)
+}
+
+// writeShed answers an admission-control rejection: 503 with the
+// dispatcher's Retry-After hint, telling well-behaved clients when to
+// come back instead of hammering a saturated queue.
+func (s *Server) writeShed(w http.ResponseWriter) {
+	secs := 1
+	if s.disp != nil {
+		if v := int(math.Ceil(s.disp.Options().RetryAfter.Seconds())); v > secs {
+			secs = v
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable,
+		"overloaded: request shed by admission control; retry after the indicated delay")
+}
+
 // ExplainRequest is the /v1/explain request body: one item to explain.
 type ExplainRequest struct {
 	Item ecom.Item `json:"item"`
@@ -286,10 +350,32 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Sprintf("decode request: %v", err))
 		return
 	}
-	det, vec, err := s.detector.DetectItemWithFeatures(&req.Item)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+	var det core.Detection
+	var vec []float64
+	if s.disp != nil {
+		// Single-item explains ride the same coalescing queue as detect
+		// traffic: an item being explained while it is being scored for
+		// someone else costs one analysis, and overload sheds here too.
+		dets, X, err := s.detect(r, []ecom.Item{req.Item})
+		if err != nil {
+			if dispatch.IsShed(err) {
+				s.writeShed(w)
+				return
+			}
+			if r.Context().Err() != nil {
+				return
+			}
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		det, vec = dets[0], X[0]
+	} else {
+		var err error
+		det, vec, err = s.detector.DetectItemWithFeatures(&req.Item)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 	}
 	if vec == nil {
 		// Sales-filtered items skip extraction in the fused pipeline,

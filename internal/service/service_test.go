@@ -17,7 +17,7 @@ import (
 	"repro/internal/textgen"
 )
 
-func newTestService(t *testing.T, opts Options) (*Server, *httptest.Server, *synth.Universe) {
+func newTestService(t testing.TB, opts Options) (*Server, *httptest.Server, *synth.Universe) {
 	t.Helper()
 	bank := textgen.NewBank()
 	texts, labels := synth.PolarCorpus(800, 91)

@@ -28,10 +28,11 @@ go run ./cmd/cats -train "${WORK}/train.jsonl" -corpus 2000 \
   -save-model "${WORK}/model.json" \
   -detect "${WORK}/train.jsonl" -out /dev/null
 
-echo "== serve-smoke: boot catsserve on ${BASE}"
+echo "== serve-smoke: boot catsserve on ${BASE} (batching on)"
 go build -o "${WORK}/catsserve" ./cmd/catsserve
 "${WORK}/catsserve" -model "${WORK}/model.json" -addr "127.0.0.1:${PORT}" \
-  -shutdown-timeout 10s &
+  -shutdown-timeout 10s \
+  -batch -batch-max-size 64 -batch-max-wait 2ms -queue-depth 512 -retry-after 1s &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
@@ -48,10 +49,17 @@ curl -fsS "${BASE}/healthz" >/dev/null
 curl -fsS "${BASE}/readyz" >/dev/null
 echo "== serve-smoke: /healthz and /readyz OK"
 
-echo "== serve-smoke: POST /v1/detect"
+echo "== serve-smoke: POST /v1/detect (concurrent burst through the batcher)"
 ITEM_JSON="$(head -n 1 "${WORK}/train.jsonl")"
-curl -fsS -X POST -H 'Content-Type: application/json' \
-  -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/v1/detect" >/dev/null
+CURL_PIDS=()
+for i in $(seq 1 8); do
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/v1/detect" >/dev/null &
+  CURL_PIDS+=("$!")
+done
+# Wait on the curl jobs only — a bare `wait` would also block on the
+# server background job, which never exits on its own.
+wait "${CURL_PIDS[@]}"
 
 echo "== serve-smoke: scrape /metrics"
 METRICS="$(curl -fsS "${BASE}/metrics")"
@@ -59,12 +67,21 @@ for want in \
   'cats_http_requests_total{route="/v1/detect",code="200"}' \
   'cats_pipeline_items_total' \
   'cats_pipeline_stage_seconds_count{stage="analyze"}' \
-  'cats_features_comments_analyzed_total'; do
+  'cats_features_comments_analyzed_total' \
+  'cats_serve_batches_total' \
+  'cats_serve_batch_size_count' \
+  'cats_serve_queue_depth' \
+  'cats_serve_coalesced_total' \
+  'cats_serve_shed_total{reason="queue_full"}'; do
   if ! grep -qF "${want}" <<<"${METRICS}"; then
     echo "serve-smoke: FAIL: /metrics is missing ${want}" >&2
     exit 1
   fi
 done
+if ! grep -E '^cats_serve_batches_total [1-9]' <<<"${METRICS}" >/dev/null; then
+  echo "serve-smoke: FAIL: cats_serve_batches_total did not move; batcher not in the path" >&2
+  exit 1
+fi
 echo "== serve-smoke: metric names present and counting"
 
 echo "== serve-smoke: SIGTERM graceful shutdown"
