@@ -1,4 +1,4 @@
-// Command catsserve serves a trained CATS model over HTTP (see
+// Command catsserve serves trained CATS models over HTTP (see
 // repro/internal/service for the API) in production shape: an
 // http.Server with sane timeouts, Prometheus metrics on /metrics,
 // liveness and readiness probes on /healthz and /readyz, optional
@@ -6,26 +6,50 @@
 // (readiness flips to 503, in-flight requests drain, then the process
 // exits 0 after logging how many items it served).
 //
-// Detection traffic is served through the adaptive batching dispatcher
-// by default (DESIGN.md §11): concurrent requests coalesce into fused
-// scoring batches, identical in-flight items score once, and when the
-// admission queue saturates excess requests are shed with 503 +
-// Retry-After instead of queuing into latency collapse. The -batch-*
-// and -queue-depth flags tune it; -batch=false restores the
-// one-scoring-call-per-request behavior.
+// The process is multi-tenant: it fronts a model registry
+// (repro/internal/registry) of named tenants — one model per platform,
+// matching the paper's cross-platform deployment — each hot-reloadable
+// with zero downtime. Models come from three places, combinable:
+//
+//	-model model.json          one model as the "default" tenant (the
+//	                           classic single-tenant invocation)
+//	-tenant name=model.json    one named tenant; repeatable
+//	-models dir/               every *.json in dir becomes a tenant
+//	                           named after its base name
+//
+// SIGHUP re-scans: every tenant's snapshot source is re-read through
+// the load → golden-probe validation → atomic swap sequence, and new
+// *.json files in the -models directory become new tenants. A snapshot
+// that fails validation is logged and skipped; the tenant keeps
+// serving its old model. The same reload is available per tenant over
+// HTTP via POST /admin/reload when -admin-token is set.
+//
+// Detection traffic is served through each tenant's own adaptive
+// batching dispatcher by default (DESIGN.md §11): concurrent requests
+// coalesce into fused scoring batches, identical in-flight items score
+// once, and when a tenant's admission queue saturates its excess
+// requests are shed with 503 + Retry-After — that tenant's, nobody
+// else's. The -batch-* and -queue-depth flags tune it;
+// -tenant-max-concurrency caps concurrent scoring batches per tenant;
+// -batch=false restores one-scoring-call-per-request.
 //
 // Usage:
 //
 //	catsserve -model model.json [-addr :8080] [-pprof-addr 127.0.0.1:6060]
 //	          [-shutdown-timeout 15s] [-batch] [-batch-max-size 256]
 //	          [-batch-max-wait 2ms] [-queue-depth 4096] [-retry-after 1s]
+//	catsserve -models snapshots/ -admin-token $TOKEN [-probes probes.json]
+//	          [-tenant-max-concurrency 4] [-default-tenant taobao]
 //
 // Models are produced by `cats -train ... -save-model model.json` or
-// the library's System.SaveFile. See README "Operating catsserve".
+// the library's System.SaveFile (atomic: a crash mid-save never leaves
+// a truncated snapshot for a reload to trip on). See README "Operating
+// multi-tenant catsserve".
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,65 +58,146 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/registry"
 	"repro/internal/service"
 )
 
+// tenantFlag is one -tenant name=path mapping; the flag repeats.
+type tenantFlag struct{ name, path string }
+
+type tenantFlags []tenantFlag
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, len(*t))
+	for i, tf := range *t {
+		parts[i] = tf.name + "=" + tf.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*t = append(*t, tenantFlag{name: name, path: path})
+	return nil
+}
+
+// probeFile is the -probes JSON shape: the golden probe set every
+// candidate model must pass before a (re)load publishes it.
+type probeFile struct {
+	Probes        []registry.Probe `json:"probes"`
+	MaxMismatches int              `json:"max_mismatches"`
+}
+
 func main() {
+	var tenants tenantFlags
 	var (
-		modelPath = flag.String("model", "", "trained model JSON (required)")
+		modelPath = flag.String("model", "", "trained model JSON, served as the \"default\" tenant")
+		modelsDir = flag.String("models", "",
+			"directory of trained model JSON files; each *.json becomes a tenant named after its base name")
+		defaultTenant = flag.String("default-tenant", "",
+			"tenant bare /v1/* requests route to (default: \"default\", or the sole tenant when exactly one is loaded)")
+		adminToken = flag.String("admin-token", "",
+			"bearer token for /admin/reload and /admin/tenants; empty (and no CATS_ADMIN_TOKEN env) disables them")
+		probesPath = flag.String("probes", "",
+			"golden probe set JSON ({\"probes\": [...], \"max_mismatches\": N}); candidate models failing it are rejected at (re)load")
 		addr      = flag.String("addr", ":8080", "listen address")
 		pprofAddr = flag.String("pprof-addr", "",
 			"optional side listener for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second,
 			"how long to drain in-flight requests on SIGINT/SIGTERM before giving up")
 		batch = flag.Bool("batch", true,
-			"coalesce concurrent detect requests into fused scoring batches")
+			"coalesce concurrent detect requests into fused scoring batches (per tenant)")
 		batchMaxSize = flag.Int("batch-max-size", 256,
 			"flush a batch once this many items are queued")
 		batchMaxWait = flag.Duration("batch-max-wait", 2*time.Millisecond,
 			"flush a batch at most this long after the first item queues")
 		queueDepth = flag.Int("queue-depth", 4096,
-			"bound on queued items; requests beyond it are shed with 503")
+			"bound on queued items per tenant; requests beyond it are shed with 503")
 		retryAfter = flag.Duration("retry-after", time.Second,
 			"Retry-After hint sent with shed (503) responses")
+		tenantMaxConcurrency = flag.Int("tenant-max-concurrency", 0,
+			"cap on concurrently-scoring batches per tenant (admission quota); 0 means unlimited")
 	)
+	flag.Var(&tenants, "tenant", "tenant model as name=path; repeatable")
 	flag.Parse()
-	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "catsserve: -model is required")
+	if *modelPath == "" && *modelsDir == "" && len(tenants) == 0 {
+		fmt.Fprintln(os.Stderr, "catsserve: at least one of -model, -models, -tenant is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		log.Fatalf("catsserve: %v", err)
-	}
-	snap, err := core.ReadSnapshot(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("catsserve: %v", err)
-	}
-	det, analyzer, err := core.DetectorFromSnapshot(snap)
-	if err != nil {
-		log.Fatalf("catsserve: %v", err)
-	}
-	opts := service.Options{
-		// Saved models carry their drift baseline; with it set the
-		// /v1/drift endpoint tracks traffic divergence automatically.
-		TrainingSample: det.TrainingSample(),
-	}
+
+	regOpts := registry.Options{}
 	if *batch {
-		opts.Batching = &dispatch.Options{
-			MaxBatch:   *batchMaxSize,
-			MaxWait:    *batchMaxWait,
-			MaxQueue:   *queueDepth,
-			RetryAfter: *retryAfter,
+		regOpts.Batching = &dispatch.Options{
+			MaxBatch:             *batchMaxSize,
+			MaxWait:              *batchMaxWait,
+			MaxQueue:             *queueDepth,
+			RetryAfter:           *retryAfter,
+			MaxConcurrentBatches: *tenantMaxConcurrency,
 		}
 	}
-	srv := service.New(det, analyzer, opts)
+	if *probesPath != "" {
+		ps, err := readProbes(*probesPath)
+		if err != nil {
+			log.Fatalf("catsserve: %v", err)
+		}
+		regOpts.Probes = ps
+		log.Printf("catsserve: golden probe set loaded from %s (%d probes, %d mismatches allowed)",
+			*probesPath, len(ps.Probes), ps.MaxMismatches)
+	}
+	reg := registry.New(regOpts)
+
+	// Boot loads are fatal on failure: starting with a bad model is an
+	// operator error, unlike a bad reload later (which is rejected and
+	// logged while the old model keeps serving).
+	ctx := context.Background()
+	if *modelPath != "" {
+		info, err := reg.LoadFile(ctx, service.DefaultTenant, *modelPath)
+		if err != nil {
+			log.Fatalf("catsserve: %v", err)
+		}
+		log.Printf("catsserve: tenant %s: loaded %s (generation %d)", info.Tenant, info.Version, info.Generation)
+	}
+	for _, tf := range tenants {
+		info, err := reg.LoadFile(ctx, tf.name, tf.path)
+		if err != nil {
+			log.Fatalf("catsserve: %v", err)
+		}
+		log.Printf("catsserve: tenant %s: loaded %s (generation %d)", info.Tenant, info.Version, info.Generation)
+	}
+	if *modelsDir != "" {
+		if err := scanModels(ctx, reg, *modelsDir, true); err != nil {
+			log.Fatalf("catsserve: %v", err)
+		}
+	}
+
+	defTenant := *defaultTenant
+	if defTenant == "" {
+		defTenant = service.DefaultTenant
+		if names := reg.Names(); len(names) == 1 {
+			defTenant = names[0]
+		}
+	}
+	if reg.Tenant(defTenant) == nil {
+		log.Printf("catsserve: warning: default tenant %q has no model; bare /v1/* requests will 404 (tenant-scoped /t/<name>/v1/* routes still work)", defTenant)
+	}
+
+	token := *adminToken
+	if token == "" {
+		token = os.Getenv("CATS_ADMIN_TOKEN")
+	}
+	srv := service.NewWithRegistry(reg, service.Options{
+		DefaultTenant: defTenant,
+		AdminToken:    token,
+	})
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -110,15 +215,38 @@ func main() {
 		go servePprof(*pprofAddr)
 	}
 
+	// SIGHUP re-scan: reload every tenant from its snapshot source and
+	// pick up new files in the -models directory. Failures are logged
+	// and the affected tenant keeps serving its old model — reload is
+	// never allowed to take a live tenant down.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Printf("catsserve: SIGHUP: re-scanning model sources")
+			if err := reg.ReloadAll(context.Background()); err != nil {
+				log.Printf("catsserve: reload: %v (tenant keeps previous model)", err)
+			}
+			if *modelsDir != "" {
+				if err := scanModels(context.Background(), reg, *modelsDir, false); err != nil {
+					log.Printf("catsserve: re-scan %s: %v", *modelsDir, err)
+				}
+			}
+			for _, info := range reg.Infos() {
+				log.Printf("catsserve: tenant %s: serving %s (generation %d)", info.Tenant, info.Version, info.Generation)
+			}
+		}
+	}()
+
 	// Shutdown sequencing: on the first SIGINT/SIGTERM, flip /readyz to
 	// 503 (load balancers stop routing here), then drain in-flight
 	// requests up to -shutdown-timeout. A second signal kills the
 	// process the default way (stop() reinstalls default handling).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	shutdownErr := make(chan error, 1)
 	go func() {
-		<-ctx.Done()
+		<-sigCtx.Done()
 		stop()
 		log.Printf("catsserve: shutdown signal received; draining (timeout %s)", *shutdownTimeout)
 		srv.SetReady(false)
@@ -127,25 +255,79 @@ func main() {
 		shutdownErr <- httpSrv.Shutdown(drainCtx)
 	}()
 
-	if d := srv.Dispatcher(); d != nil {
-		o := d.Options()
-		log.Printf("catsserve: batching on (max-size %d, max-wait %s, queue-depth %d, retry-after %s)",
-			o.MaxBatch, o.MaxWait, o.MaxQueue, o.RetryAfter)
+	if bt := regOpts.Batching; bt != nil {
+		log.Printf("catsserve: batching on (max-size %d, max-wait %s, queue-depth %d, retry-after %s, tenant-max-concurrency %d)",
+			bt.MaxBatch, bt.MaxWait, bt.MaxQueue, bt.RetryAfter, bt.MaxConcurrentBatches)
 	} else {
 		log.Printf("catsserve: batching off; each request scores its own batch")
 	}
-	log.Printf("catsserve: listening on %s (drift tracking: %v, pprof: %q)",
-		*addr, len(det.TrainingSample()) > 0, *pprofAddr)
+	log.Printf("catsserve: listening on %s (tenants %v, default %q, admin API %v, pprof %q)",
+		*addr, reg.Names(), defTenant, token != "", *pprofAddr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("catsserve: %v", err)
 	}
 	if err := <-shutdownErr; err != nil {
 		log.Printf("catsserve: drain incomplete: %v", err)
 	}
-	// In-flight HTTP requests are drained; flush whatever the batcher
-	// still holds so every admitted waiter got its verdict.
+	// In-flight HTTP requests are drained; retire every tenant's model
+	// so the batchers flush whatever they still hold and every admitted
+	// waiter gets its verdict.
 	srv.Close()
 	log.Printf("catsserve: exiting cleanly; served %d items", srv.ItemsServed())
+}
+
+// scanModels loads every *.json in dir as a tenant named after its
+// base name. With fatal=false (SIGHUP re-scan) only tenants not yet
+// registered are loaded — existing ones were just refreshed by
+// ReloadAll — and individual failures are logged, not returned.
+func scanModels(ctx context.Context, reg *registry.Registry, dir string, fatal bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		tenant := strings.TrimSuffix(name, ".json")
+		if !fatal {
+			if t := reg.Tenant(tenant); t != nil && t.Source() != "" {
+				continue
+			}
+		}
+		info, err := reg.LoadFile(ctx, tenant, filepath.Join(dir, name))
+		if err != nil {
+			if fatal {
+				return err
+			}
+			log.Printf("catsserve: %v (tenant skipped)", err)
+			continue
+		}
+		loaded++
+		log.Printf("catsserve: tenant %s: loaded %s (generation %d)", info.Tenant, info.Version, info.Generation)
+	}
+	if fatal && loaded == 0 {
+		return fmt.Errorf("no *.json models found in %s", dir)
+	}
+	return nil
+}
+
+// readProbes parses a -probes JSON file.
+func readProbes(path string) (registry.ProbeSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return registry.ProbeSet{}, err
+	}
+	defer f.Close()
+	var pf probeFile
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pf); err != nil {
+		return registry.ProbeSet{}, fmt.Errorf("parse probes %s: %w", path, err)
+	}
+	return registry.ProbeSet{Probes: pf.Probes, MaxMismatches: pf.MaxMismatches}, nil
 }
 
 // servePprof exposes the pprof handlers on their own mux and listener,

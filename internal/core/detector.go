@@ -105,6 +105,10 @@ type Detector struct {
 	// feature vectors, kept as the drift baseline for monitoring
 	// deployments (see internal/service's /v1/drift).
 	trainSample [][]float64
+
+	// m is the tenant-labeled pipeline instrumentation this detector
+	// reports into; SetMetricsTenant rebinds it. Never nil.
+	m *pipelineMetrics
 }
 
 // trainSampleCap bounds the retained drift baseline.
@@ -118,7 +122,15 @@ func NewDetector(a *Analyzer, cfg DetectorConfig) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg, extractor: a.Extractor(), clf: clf}, nil
+	return &Detector{cfg: cfg, extractor: a.Extractor(), clf: clf, m: pipelineMetricsFor(DefaultTenant)}, nil
+}
+
+// SetMetricsTenant rebinds the detector's cats_pipeline_* metrics to
+// the given tenant label (empty means DefaultTenant). The multi-tenant
+// registry calls this once per loaded model, before the detector serves
+// traffic; it is not safe to call concurrently with detection.
+func (d *Detector) SetMetricsTenant(tenant string) {
+	d.m = pipelineMetricsFor(tenant)
 }
 
 // Extractor exposes the detector's feature extractor.
@@ -231,20 +243,20 @@ type Detection struct {
 func (d *Detector) analyzeOne(item *ecom.Item) (det Detection, v []float64, needScore bool) {
 	det = Detection{ItemID: item.ID}
 	if !d.cfg.DisableRuleFilter && item.SalesVolume < d.cfg.MinSalesVolume {
-		mItemsFilteredSales.Inc()
+		d.m.itemsFilteredSales.Inc()
 		det.Filtered = true
 		return det, nil, false
 	}
-	sp := obs.StartSpan(mStageAnalyze)
+	sp := obs.StartSpan(d.m.stageAnalyze)
 	v, hasPositive := d.extractor.VectorSignal(item)
 	sp.End()
-	mCommentsAnalyzed.Add(uint64(len(item.Comments)))
+	d.m.commentsAnalyzed.Add(uint64(len(item.Comments)))
 	if !d.cfg.DisableRuleFilter && !hasPositive {
-		mItemsFilteredSignal.Inc()
+		d.m.itemsFilteredSignal.Inc()
 		det.Filtered = true
 		return det, v, false
 	}
-	mItemsScored.Inc()
+	d.m.itemsScored.Inc()
 	return det, v, true
 }
 
@@ -253,7 +265,7 @@ func (d *Detector) analyzeOne(item *ecom.Item) (det Detection, v []float64, need
 func (d *Detector) scoreOne(item *ecom.Item) (Detection, []float64) {
 	det, v, need := d.analyzeOne(item)
 	if need {
-		sp := obs.StartSpan(mStageScore)
+		sp := obs.StartSpan(d.m.stageScore)
 		score := d.clf.PredictProba(v)
 		sp.End()
 		d.applyScore(&det, score)
@@ -275,8 +287,8 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 	if !d.trained {
 		return nil, nil, ErrNotTrained
 	}
-	mBatches.Inc()
-	mBatchSize.Observe(float64(len(items)))
+	d.m.batches.Inc()
+	d.m.batchSize.Observe(float64(len(items)))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -298,7 +310,7 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 				if batchScoring {
 					pending = append(pending, i)
 				} else {
-					sp := obs.StartSpan(mStageScore)
+					sp := obs.StartSpan(d.m.stageScore)
 					score := d.clf.PredictProba(X[i])
 					sp.End()
 					d.applyScore(&dets[i], score)
@@ -319,7 +331,7 @@ func (d *Detector) scoreBatch(ctx context.Context, items []ecom.Item, workers in
 				var need bool
 				dets[i], X[i], need = d.analyzeOne(&items[i])
 				if need && !batchScoring {
-					sp := obs.StartSpan(mStageScore)
+					sp := obs.StartSpan(d.m.stageScore)
 					score := d.clf.PredictProba(X[i])
 					sp.End()
 					d.applyScore(&dets[i], score)
@@ -375,7 +387,7 @@ func (d *Detector) scorePending(g *gbt.Classifier, dets []Detection, X [][]float
 	if chunk < minScoreChunk {
 		chunk = minScoreChunk
 	}
-	sp := obs.StartSpan(mStageScore)
+	sp := obs.StartSpan(d.m.stageScore)
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(pending); lo += chunk {
 		hi := lo + chunk

@@ -143,6 +143,7 @@ func DetectorFromSnapshot(s *DetectorSnapshot) (*Detector, *Analyzer, error) {
 		clf:         clf,
 		trained:     true,
 		trainSample: s.TrainingSample,
+		m:           pipelineMetricsFor(DefaultTenant),
 	}
 	return d, a, nil
 }
@@ -156,11 +157,37 @@ func WriteSnapshot(w io.Writer, s *DetectorSnapshot) error {
 	return nil
 }
 
-// ReadSnapshot decodes a detector snapshot from r.
+// ReadSnapshot decodes a detector snapshot from r. Decode failures are
+// diagnosable from the error alone: the message carries the byte offset
+// the decoder died at and the snapshot version when the stream got far
+// enough to reveal one — the detail a failed tenant reload surfaces in
+// its /admin/reload response body.
 func ReadSnapshot(r io.Reader) (*DetectorSnapshot, error) {
 	var s DetectorSnapshot
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot (%s): %w", decodeFailureDetail(dec, err, s.Version), err)
 	}
 	return &s, nil
+}
+
+// decodeFailureDetail renders where and in what a snapshot decode died:
+// the most precise byte offset the error carries (syntax and type
+// errors record their own; anything else falls back to the decoder's
+// read position) and the partially-decoded snapshot version, 0 when the
+// stream broke before the version field.
+func decodeFailureDetail(dec *json.Decoder, err error, version int) string {
+	offset := dec.InputOffset()
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		offset = syn.Offset
+	case errors.As(err, &typ):
+		offset = typ.Offset
+	}
+	if version == 0 {
+		return fmt.Sprintf("snapshot version unknown, byte offset %d", offset)
+	}
+	return fmt.Sprintf("snapshot version %d, byte offset %d", version, offset)
 }

@@ -69,9 +69,26 @@ type Options struct {
 	// to clients (the service turns it into a Retry-After header);
 	// <= 0 means 1s.
 	RetryAfter time.Duration
+	// Tenant labels this dispatcher's cats_serve_* metrics. Empty means
+	// "default". Each tenant of the model registry runs its own
+	// dispatcher, so the label separates the tenants' serving signals.
+	Tenant string
+	// MaxConcurrentBatches caps the scoring batches this dispatcher may
+	// run at once — the per-tenant admission quota that keeps one hot
+	// tenant from monopolizing every core while other tenants' batches
+	// wait. Queued batches beyond the cap dispatch as running ones
+	// finish. <= 0 means unlimited.
+	MaxConcurrentBatches int
 }
 
+// defaultTenant mirrors core.DefaultTenant without importing it into
+// the metric path.
+const defaultTenant = "default"
+
 func (o Options) withDefaults() Options {
+	if o.Tenant == "" {
+		o.Tenant = defaultTenant
+	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
 	}
@@ -133,6 +150,8 @@ type flight struct {
 type Dispatcher struct {
 	opts   Options
 	scorer Scorer
+	m      *serveMetrics
+	sem    chan struct{} // nil = no batch-concurrency quota
 
 	mu       sync.Mutex
 	closed   bool
@@ -144,11 +163,17 @@ type Dispatcher struct {
 
 // New returns a Dispatcher scoring through the given Scorer.
 func New(s Scorer, opts Options) *Dispatcher {
-	return &Dispatcher{
-		opts:     opts.withDefaults(),
+	opts = opts.withDefaults()
+	d := &Dispatcher{
+		opts:     opts,
 		scorer:   s,
+		m:        serveMetricsFor(opts.Tenant),
 		inflight: map[string]*flight{},
 	}
+	if opts.MaxConcurrentBatches > 0 {
+		d.sem = make(chan struct{}, opts.MaxConcurrentBatches)
+	}
+	return d
 }
 
 // Options returns the dispatcher's resolved options.
@@ -188,14 +213,14 @@ func (d *Dispatcher) Submit(ctx context.Context, items []ecom.Item) (Result, err
 		return d.bypass(ctx, items)
 	}
 	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d.opts.MaxWait {
-		mShedDeadline.Inc()
+		d.m.shedDeadline.Inc()
 		return Result{}, ErrDeadline
 	}
 
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		mShedClosed.Inc()
+		d.m.shedClosed.Inc()
 		return Result{}, ErrClosed
 	}
 	// Admission first, atomically with the enqueue: count the items
@@ -210,14 +235,14 @@ func (d *Dispatcher) Submit(ctx context.Context, items []ecom.Item) (Result, err
 	}
 	if len(d.queue)+newItems > d.opts.MaxQueue {
 		d.mu.Unlock()
-		mShedQueueFull.Inc()
+		d.m.shedQueueFull.Inc()
 		return Result{}, ErrQueueFull
 	}
 	now := time.Now()
 	flights := make([]*flight, len(items))
 	for i := range items {
 		if f, ok := d.inflight[items[i].ID]; ok {
-			mCoalesced.Inc()
+			d.m.coalesced.Inc()
 			flights[i] = f
 			continue
 		}
@@ -226,7 +251,7 @@ func (d *Dispatcher) Submit(ctx context.Context, items []ecom.Item) (Result, err
 		d.queue = append(d.queue, f)
 		flights[i] = f
 	}
-	mQueueDepth.Set(int64(len(d.queue)))
+	d.m.queueDepth.Set(int64(len(d.queue)))
 	if len(d.queue) >= d.opts.MaxBatch {
 		d.flushLocked()
 	} else if len(d.queue) > 0 && d.timer == nil {
@@ -267,13 +292,24 @@ func (d *Dispatcher) bypass(ctx context.Context, items []ecom.Item) (Result, err
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		mShedClosed.Inc()
+		d.m.shedClosed.Inc()
 		return Result{}, ErrClosed
 	}
 	d.mu.Unlock()
-	mBypass.Inc()
-	mBatches.Inc()
-	mBatchSize.Observe(float64(len(items)))
+	// Bypassed requests are scoring batches too: they wait on the same
+	// per-tenant quota, but on the caller's context, so an abandoned
+	// request stops waiting for a slot.
+	if d.sem != nil {
+		select {
+		case d.sem <- struct{}{}:
+			defer func() { <-d.sem }()
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	d.m.bypass.Inc()
+	d.m.batches.Inc()
+	d.m.batchSize.Observe(float64(len(items)))
 	dets, X, err := d.scorer.DetectWithFeatures(ctx, items, d.opts.Workers)
 	if err != nil {
 		return Result{}, err
@@ -308,7 +344,7 @@ func (d *Dispatcher) flushLocked() {
 		go d.runBatch(batch)
 	}
 	d.queue = nil
-	mQueueDepth.Set(0)
+	d.m.queueDepth.Set(0)
 }
 
 // runBatch scores one dispatched chunk and fans results out to the
@@ -316,14 +352,21 @@ func (d *Dispatcher) flushLocked() {
 // coalesced onto it, so no single request's cancellation may abort it.
 func (d *Dispatcher) runBatch(batch []*flight) {
 	defer d.wg.Done()
+	// Per-tenant concurrency quota: a tenant over its batch budget
+	// queues here, on its own goroutines, leaving the scoring cores to
+	// the tenants under budget.
+	if d.sem != nil {
+		d.sem <- struct{}{}
+		defer func() { <-d.sem }()
+	}
 	items := make([]ecom.Item, len(batch))
 	now := time.Now()
 	for i, f := range batch {
 		items[i] = f.item
-		mWait.Observe(now.Sub(f.enqueued).Seconds())
+		d.m.wait.Observe(now.Sub(f.enqueued).Seconds())
 	}
-	mBatches.Inc()
-	mBatchSize.Observe(float64(len(items)))
+	d.m.batches.Inc()
+	d.m.batchSize.Observe(float64(len(items)))
 	dets, X, err := d.scorer.DetectWithFeatures(context.Background(), items, d.opts.Workers)
 
 	// Retire the IDs first so new submissions start fresh flights, then

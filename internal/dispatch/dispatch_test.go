@@ -174,7 +174,7 @@ func TestCoalesceIdenticalInFlight(t *testing.T) {
 	defer d.Close()
 
 	const waiters = 10
-	coalescedBefore := mCoalesced.Value()
+	coalescedBefore := d.m.coalesced.Value()
 	var wg sync.WaitGroup
 	results := make([]Result, waiters+1)
 	errs := make([]error, waiters+1)
@@ -193,7 +193,7 @@ func TestCoalesceIdenticalInFlight(t *testing.T) {
 	}
 	// Every late submitter must attach to the scoring flight, not queue
 	// a duplicate; the coalesce counter records each attach.
-	for mCoalesced.Value()-coalescedBefore < waiters {
+	for d.m.coalesced.Value()-coalescedBefore < waiters {
 		time.Sleep(time.Millisecond)
 	}
 	if depth := d.QueueDepth(); depth != 0 {
@@ -256,7 +256,7 @@ func TestShedQueueFull(t *testing.T) {
 		t.Fatalf("queue depth after sheds = %d, want 2 (shed must not enqueue)", depth)
 	}
 	// A pure-coalesce request occupies no new slot and is admitted.
-	coalescedBefore := mCoalesced.Value()
+	coalescedBefore := d.m.coalesced.Value()
 	wg.Add(1)
 	var dupRes Result
 	var dupErr error
@@ -264,7 +264,7 @@ func TestShedQueueFull(t *testing.T) {
 		defer wg.Done()
 		dupRes, dupErr = d.Submit(context.Background(), items("a"))
 	}()
-	for mCoalesced.Value() == coalescedBefore {
+	for d.m.coalesced.Value() == coalescedBefore {
 		time.Sleep(time.Millisecond)
 	}
 	if got := d.InFlight(); got != 2 { // still just a and b
@@ -376,7 +376,7 @@ func TestWaiterCancellationReleasesOnlyTheWaiter(t *testing.T) {
 	}()
 	<-stub.started
 	// A second waiter coalesces onto the in-flight item.
-	coalescedBefore := mCoalesced.Value()
+	coalescedBefore := d.m.coalesced.Value()
 	var wg sync.WaitGroup
 	wg.Add(1)
 	var res Result
@@ -385,7 +385,7 @@ func TestWaiterCancellationReleasesOnlyTheWaiter(t *testing.T) {
 		defer wg.Done()
 		res, err2 = d.Submit(context.Background(), items("a"))
 	}()
-	for mCoalesced.Value() == coalescedBefore {
+	for d.m.coalesced.Value() == coalescedBefore {
 		time.Sleep(time.Millisecond)
 	}
 	cancel()

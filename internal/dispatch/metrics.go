@@ -1,41 +1,91 @@
 package dispatch
 
-import "repro/internal/obs"
+import (
+	"sync"
 
-// Dispatcher instrumentation (DESIGN.md §11). Handles are resolved once
-// at package init on the process-wide registry; every update on the
-// request path is a lock-free atomic. The four headline signals an
-// operator tunes the batcher by: queue depth (admission headroom),
-// batch-size distribution (is coalescing actually happening), shed
-// counts by reason (how overload degrades), and coalesce hits (how much
-// work the singleflight map is saving).
+	"repro/internal/obs"
+)
+
+// Dispatcher instrumentation (DESIGN.md §11, §12). Every cats_serve_*
+// family carries a trailing tenant label: each tenant runs its own
+// dispatcher (internal/registry), so queue depth, shedding, and
+// coalescing are per-tenant signals — exactly the view an operator
+// needs to see one hot tenant saturating its own quota without
+// starving the rest. Handles are resolved once per tenant and cached;
+// every update on the request path is a lock-free atomic. The four
+// headline signals an operator tunes the batcher by: queue depth
+// (admission headroom), batch-size distribution (is coalescing actually
+// happening), shed counts by reason (how overload degrades), and
+// coalesce hits (how much work the singleflight map is saving).
 var (
-	mQueueDepth = obs.Default.Gauge("cats_serve_queue_depth",
-		"Items currently enqueued and awaiting batch dispatch.")
+	vQueueDepth = obs.Default.GaugeVec("cats_serve_queue_depth",
+		"Items currently enqueued and awaiting batch dispatch.", "tenant")
 
-	mBatches = obs.Default.Counter("cats_serve_batches_total",
-		"Fused scoring batches dispatched by the serving batcher.")
-	mBatchSize = obs.Default.Histogram("cats_serve_batch_size",
+	vBatches = obs.Default.CounterVec("cats_serve_batches_total",
+		"Fused scoring batches dispatched by the serving batcher.", "tenant")
+	vBatchSize = obs.Default.HistogramVec("cats_serve_batch_size",
 		"Items per dispatched serving batch (bypassed oversize requests included).",
-		obs.SizeBuckets)
+		obs.SizeBuckets, "tenant")
 
-	shedTotal = obs.Default.CounterVec("cats_serve_shed_total",
+	vShed = obs.Default.CounterVec("cats_serve_shed_total",
 		"Requests shed by admission control instead of being queued, by "+
 			"reason: queue_full (no queue headroom for the request's new "+
 			"items), deadline (the request's context deadline cannot survive "+
-			"a full flush wait), closed (dispatcher shutting down).", "reason")
-	mShedQueueFull = shedTotal.With("queue_full")
-	mShedDeadline  = shedTotal.With("deadline")
-	mShedClosed    = shedTotal.With("closed")
+			"a full flush wait), closed (dispatcher shutting down).", "reason", "tenant")
 
-	mCoalesced = obs.Default.Counter("cats_serve_coalesced_total",
+	vCoalesced = obs.Default.CounterVec("cats_serve_coalesced_total",
 		"Submitted items that attached to an identical in-flight item via "+
-			"the singleflight map instead of being analyzed again.")
-	mBypass = obs.Default.Counter("cats_serve_bypass_total",
+			"the singleflight map instead of being analyzed again.", "tenant")
+	vBypass = obs.Default.CounterVec("cats_serve_bypass_total",
 		"Requests at or above the max batch size dispatched directly, "+
-			"skipping the queue (they are already a full batch).")
+			"skipping the queue (they are already a full batch).", "tenant")
 
-	mWait = obs.Default.Histogram("cats_serve_wait_seconds",
+	vWait = obs.Default.HistogramVec("cats_serve_wait_seconds",
 		"Time items spend queued before their batch dispatches — bounded "+
-			"by the max-wait flush policy.", obs.LatencyBuckets)
+			"by the max-wait flush policy.", obs.LatencyBuckets, "tenant")
 )
+
+// serveMetrics is one tenant's pre-resolved cats_serve_* handle set.
+type serveMetrics struct {
+	queueDepth    *obs.Gauge
+	batches       *obs.Counter
+	batchSize     *obs.Histogram
+	shedQueueFull *obs.Counter
+	shedDeadline  *obs.Counter
+	shedClosed    *obs.Counter
+	coalesced     *obs.Counter
+	bypass        *obs.Counter
+	wait          *obs.Histogram
+}
+
+var (
+	serveMetricsMu    sync.Mutex
+	serveMetricsCache = map[string]*serveMetrics{}
+)
+
+// serveMetricsFor resolves (and caches) the handle set for one tenant
+// label. Dispatchers resolve once at construction; the request path
+// only touches the returned atomics.
+func serveMetricsFor(tenant string) *serveMetrics {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	serveMetricsMu.Lock()
+	defer serveMetricsMu.Unlock()
+	if m, ok := serveMetricsCache[tenant]; ok {
+		return m
+	}
+	m := &serveMetrics{
+		queueDepth:    vQueueDepth.With(tenant),
+		batches:       vBatches.With(tenant),
+		batchSize:     vBatchSize.With(tenant),
+		shedQueueFull: vShed.With("queue_full", tenant),
+		shedDeadline:  vShed.With("deadline", tenant),
+		shedClosed:    vShed.With("closed", tenant),
+		coalesced:     vCoalesced.With(tenant),
+		bypass:        vBypass.With(tenant),
+		wait:          vWait.With(tenant),
+	}
+	serveMetricsCache[tenant] = m
+	return m
+}

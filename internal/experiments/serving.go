@@ -216,15 +216,24 @@ func serveLoad(det *core.Detector, analyzer *core.Analyzer, workers int, name st
 func counterValue(handler http.Handler, name string) float64 {
 	rec := httptest.NewRecorder()
 	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var total float64
 	for _, line := range strings.Split(rec.Body.String(), "\n") {
-		if rest, ok := strings.CutPrefix(line, name+" "); ok {
-			var v float64
-			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
-				return v
-			}
+		// Sum across label sets (the serve counters carry a tenant
+		// label): "name{...} v" and bare "name v" both count.
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || (!strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{")) {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			total += v
 		}
 	}
-	return 0
+	return total
 }
 
 // String prints the serving comparison table.

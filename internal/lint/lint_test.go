@@ -72,6 +72,15 @@ func TestFixtureCorpus(t *testing.T) {
 			},
 		},
 		{
+			// The registry's load → validate → publish shape: probe
+			// validation must ride the reload's context.
+			pkg: "registryctx",
+			want: []want{
+				{"ctx-propagation", 20, "context.Background inside Load"},
+				{"ctx-propagation", 20, "not given the caller's ctx"},
+			},
+		},
+		{
 			pkg: "wallclock",
 			want: []want{
 				{"no-wallclock-rand", 12, "time.Now reads the wall clock"},

@@ -1,0 +1,30 @@
+// Package registryctx is a catslint fixture modeling the model
+// registry's load → validate → publish sequence: a reload request's
+// context must flow into probe validation, so a canceled reload stops
+// scoring probes instead of detaching from its caller.
+package registryctx
+
+import "context"
+
+type model struct{ ok bool }
+
+// validate pretends to score the golden probe set.
+func validate(ctx context.Context, m *model) bool {
+	_ = ctx
+	return m.ok
+}
+
+// Load receives the reload's context and detaches validation from it:
+// both the minted root context and the missing ctx argument are flagged.
+func Load(ctx context.Context, m *model) bool {
+	if !validate(context.Background(), m) {
+		return false
+	}
+	return publish(ctx, m)
+}
+
+// publish correctly rides the caller's context: clean.
+func publish(ctx context.Context, m *model) bool {
+	_ = ctx
+	return m != nil
+}

@@ -1,6 +1,11 @@
-// Package service exposes a trained CATS detector over HTTP — the
+// Package service exposes trained CATS detectors over HTTP — the
 // integration surface for the Section VI deployment setting, where the
 // platform streams items to the detector and receives fraud verdicts.
+// The server is multi-tenant: it fronts a registry of named models
+// (one per platform — the paper's Taobao-pretrain / E-platform-deploy
+// split maps to one tenant each), every request is routed to one
+// tenant's atomically-swappable model, and models hot-reload with zero
+// downtime via an authenticated admin endpoint.
 //
 // Endpoints:
 //
@@ -9,24 +14,49 @@
 //	GET  /v1/importance  — the model's Fig 7 split-count importance
 //	GET  /v1/lexicon     — the expanded positive/negative word sets
 //	GET  /v1/drift       — scored-traffic vs training feature drift (KS)
+//	POST /t/{tenant}/v1/detect      — tenant-scoped variants of all of
+//	POST /t/{tenant}/v1/explain       the above /v1/* routes
+//	GET  /t/{tenant}/v1/importance
+//	GET  /t/{tenant}/v1/drift
+//	GET  /t/{tenant}/v1/lexicon
+//	POST /admin/reload   — hot-reload one tenant's model (Bearer auth)
+//	GET  /admin/tenants  — live models: version, generation, source
 //	GET  /healthz        — liveness
 //	GET  /readyz         — readiness (503 while draining or not yet ready)
 //	GET  /metrics        — Prometheus text-format metrics (internal/obs)
+//
+// Tenant resolution: the /t/{tenant}/ path prefix wins; bare /v1/*
+// routes honor an X-Cats-Tenant header and otherwise fall back to the
+// server's default tenant, so single-tenant deployments and existing
+// clients keep working unchanged.
 //
 // All payloads are JSON. Request bodies are size-capped (oversized
 // bodies yield 413), malformed input yields 400 rather than 500, and a
 // wrong method yields 405 with an Allow header. Every route is wrapped
 // in obs HTTP middleware: per-route request counts by status code,
-// per-route latency histograms, and an in-flight gauge.
+// per-route latency histograms, and an in-flight gauge. Route labels
+// use the registered pattern ("/t/{tenant}/v1/detect"), so metric
+// cardinality stays bounded no matter how many tenants exist.
 //
-// With Options.Batching set, detection requests flow through the
-// internal/dispatch coalescing dispatcher (DESIGN.md §11) instead of
-// each paying its own scoring batch: concurrent requests fuse into
-// shared batches, identical in-flight items score once, and overload
-// sheds with 503 + Retry-After instead of queuing doomed work.
+// With batching configured (registry.Options.Batching), each tenant's
+// detection requests flow through that tenant's own internal/dispatch
+// coalescing dispatcher (DESIGN.md §11) instead of each paying its own
+// scoring batch: concurrent requests fuse into shared batches,
+// identical in-flight items score once, and overload sheds with 503 +
+// Retry-After instead of queuing doomed work — per tenant, so one hot
+// tenant cannot starve its neighbors' admission queues.
+//
+// Model coherence: a request Acquires its tenant's current model
+// handle once, up front, and holds it until the response is written.
+// A concurrent /admin/reload swaps the tenant's handle atomically; the
+// in-flight request finishes on the model it started with, and the old
+// model's dispatcher drains and closes only after its last holder
+// releases (internal/registry).
 package service
 
 import (
+	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +64,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -43,8 +74,13 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml/gbt"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/stats"
 )
+
+// DefaultTenant is the tenant bare /v1/* requests resolve to when no
+// X-Cats-Tenant header overrides it and Options.DefaultTenant is unset.
+const DefaultTenant = core.DefaultTenant
 
 // Options tunes the service.
 type Options struct {
@@ -55,25 +91,38 @@ type Options struct {
 	// Workers bounds per-request feature-extraction parallelism;
 	// <= 0 means GOMAXPROCS.
 	Workers int
+	// DefaultTenant is where bare /v1/* requests without an
+	// X-Cats-Tenant header route; empty means DefaultTenant
+	// ("default").
+	DefaultTenant string
+	// AdminToken authenticates /admin/* requests (Authorization:
+	// Bearer <token>). Empty disables the admin endpoints entirely:
+	// they answer 403, and no unauthenticated reload path exists.
+	AdminToken string
 	// TrainingSample is the feature matrix of the detector's training
-	// set. When set, the service tracks the feature distributions of
-	// scored traffic and /v1/drift reports per-feature KS distances
-	// against training — the drift signal that tells operators the
-	// model needs retraining (fraud campaigns adapt).
+	// set, used as the default tenant's drift baseline. When set, the
+	// service tracks the feature distributions of scored traffic and
+	// /v1/drift reports per-feature KS distances against training —
+	// the drift signal that tells operators the model needs retraining
+	// (fraud campaigns adapt). Registry-backed servers
+	// (NewWithRegistry) additionally fall back to each model's own
+	// snapshot-carried training sample per tenant.
 	TrainingSample [][]float64
 	// DriftReservoir caps the retained scored-traffic sample per
-	// feature; <= 0 means 4096.
+	// feature per tenant; <= 0 means 4096.
 	DriftReservoir int
 	// Registry receives the service's HTTP metrics and backs /metrics;
 	// nil means obs.Default (which also carries the pipeline's own
 	// counters and stage histograms).
 	Registry *obs.Registry
-	// Batching, when non-nil, routes /v1/detect and /v1/explain through
-	// a request-coalescing dispatcher with the given tuning: bounded
+	// Batching, when non-nil, routes detection through a
+	// request-coalescing dispatcher with the given tuning: bounded
 	// queue, flush on max-batch-size or max-wait, singleflight dedup of
 	// identical in-flight items, and early shedding (503 + Retry-After)
 	// when the queue is full or a deadline cannot be met. Nil serves
-	// each request with its own scoring batch, as before.
+	// each request with its own scoring batch, as before. Only
+	// consulted by New — registry-backed servers inherit the
+	// registry's own batching template.
 	Batching *dispatch.Options
 }
 
@@ -87,65 +136,111 @@ func (o Options) withDefaults() Options {
 	if o.DriftReservoir <= 0 {
 		o.DriftReservoir = 4096
 	}
+	if o.DefaultTenant == "" {
+		o.DefaultTenant = DefaultTenant
+	}
 	return o
 }
 
-// Server serves detection requests from a trained detector. It is safe
-// for concurrent use.
-type Server struct {
-	opts     Options
-	detector *core.Detector
-	analyzer *core.Analyzer
-	disp     *dispatch.Dispatcher // nil when batching is off
-	served   atomic.Int64
-	ready    atomic.Bool
-	reg      *obs.Registry
-	httpm    *obs.HTTPMetrics
-
-	// drift state: a bounded reservoir of scored-traffic feature
-	// vectors (guarded by driftMu).
-	driftMu   sync.Mutex
-	driftSeen int64
-	driftRes  [][]float64
-	driftRng  *rand.Rand
+// driftState is one tenant's scored-traffic reservoir plus the
+// training baseline it is compared against. The state resets when the
+// tenant's model generation changes: drift relative to a retired
+// model's training set is meaningless after a reload.
+type driftState struct {
+	mu       sync.Mutex
+	gen      uint64
+	baseline [][]float64
+	seen     int64
+	res      [][]float64
+	rng      *rand.Rand
 }
 
-// New builds a Server around a trained detector. The server starts
-// ready; SetReady(false) flips /readyz to 503 (catsserve does this
-// before draining on shutdown, so load balancers stop routing to it).
+// Server serves detection requests from a registry of trained models.
+// It is safe for concurrent use.
+type Server struct {
+	opts Options
+	reg  *registry.Registry
+	// modelDrift: tenants fall back to their model's snapshot-carried
+	// training sample as the drift baseline (registry-backed servers).
+	// The single-tenant New adapter leaves it false so drift stays
+	// strictly opt-in via Options.TrainingSample, as it always was.
+	modelDrift bool
+
+	served atomic.Int64
+	ready  atomic.Bool
+	obsReg *obs.Registry
+	httpm  *obs.HTTPMetrics
+
+	driftMu sync.Mutex
+	drift   map[string]*driftState
+}
+
+// New builds a single-tenant Server around a trained detector: a thin
+// adapter that installs (det, analyzer) as the default tenant of a
+// fresh registry (honoring Options.Batching and Options.Workers) and
+// serves it. The server starts ready; SetReady(false) flips /readyz to
+// 503 (catsserve does this before draining on shutdown, so load
+// balancers stop routing to it).
 func New(det *core.Detector, analyzer *core.Analyzer, opts Options) *Server {
 	opts = opts.withDefaults()
-	reg := opts.Registry
-	if reg == nil {
-		reg = obs.Default
+	reg := registry.New(registry.Options{Batching: opts.Batching, Workers: opts.Workers})
+	// No probe set is configured, so Install cannot reject; an
+	// untrained detector still installs and answers requests with the
+	// same ErrNotTrained it always did.
+	if _, err := reg.Install(context.Background(), opts.DefaultTenant, "in-process", det, analyzer); err != nil {
+		panic(fmt.Sprintf("service: install default tenant: %v", err))
+	}
+	s := newServer(reg, opts)
+	return s
+}
+
+// NewWithRegistry builds a Server over an externally-managed model
+// registry: the multi-tenant path. Tenants the registry loads (before
+// or after this call) become routable immediately; /admin/reload swaps
+// them live. Per-tenant drift baselines come from each model's
+// snapshot-carried training sample, with Options.TrainingSample
+// overriding the default tenant's.
+func NewWithRegistry(reg *registry.Registry, opts Options) *Server {
+	s := newServer(reg, opts.withDefaults())
+	s.modelDrift = true
+	return s
+}
+
+func newServer(reg *registry.Registry, opts Options) *Server {
+	obsReg := opts.Registry
+	if obsReg == nil {
+		obsReg = obs.Default
 	}
 	s := &Server{
-		opts:     opts,
-		detector: det,
-		analyzer: analyzer,
-		reg:      reg,
-		httpm:    obs.NewHTTPMetrics(reg),
-		driftRng: rand.New(rand.NewSource(1)),
-	}
-	if opts.Batching != nil {
-		s.disp = dispatch.New(det, *opts.Batching)
+		opts:   opts,
+		reg:    reg,
+		obsReg: obsReg,
+		httpm:  obs.NewHTTPMetrics(obsReg),
+		drift:  map[string]*driftState{},
 	}
 	s.ready.Store(true)
 	return s
 }
 
-// Close drains the batching dispatcher, if any: queued work flushes,
-// in-flight batches complete, and further detect requests answer 503.
-// catsserve calls this after the HTTP server finishes its shutdown.
-func (s *Server) Close() {
-	if s.disp != nil {
-		s.disp.Close()
-	}
-}
+// Close retires every tenant's model: queued work flushes, in-flight
+// batches complete, and further detect requests answer 503. catsserve
+// calls this after the HTTP server finishes its shutdown.
+func (s *Server) Close() { s.reg.Close() }
 
-// Dispatcher exposes the batching dispatcher, or nil when batching is
-// off.
-func (s *Server) Dispatcher() *dispatch.Dispatcher { return s.disp }
+// Dispatcher exposes the default tenant's current batching dispatcher,
+// or nil when batching is off or no model is loaded.
+func (s *Server) Dispatcher() *dispatch.Dispatcher {
+	t := s.reg.Tenant(s.opts.DefaultTenant)
+	if t == nil {
+		return nil
+	}
+	h := t.Acquire()
+	if h == nil {
+		return nil
+	}
+	defer h.Release()
+	return h.Dispatcher()
+}
 
 // SetReady flips the /readyz verdict. It does not affect request
 // handling — in-flight and new requests still complete — only what the
@@ -156,55 +251,142 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Registry exposes the metrics registry backing /metrics.
-func (s *Server) Registry() *obs.Registry { return s.reg }
+func (s *Server) Registry() *obs.Registry { return s.obsReg }
 
-// recordDrift reservoir-samples scored feature vectors.
-func (s *Server) recordDrift(vectors [][]float64) {
-	if s.opts.TrainingSample == nil {
-		return
-	}
+// ModelRegistry exposes the tenant model registry the server routes to.
+func (s *Server) ModelRegistry() *registry.Registry { return s.reg }
+
+// driftFor returns the tenant's drift state for the model generation
+// the request is being served by, resetting the reservoir when a
+// reload has swapped generations since last observed. Returns nil when
+// the tenant has no drift baseline (tracking disabled).
+func (s *Server) driftFor(tenant string, h *registry.Handle) *driftState {
 	s.driftMu.Lock()
-	defer s.driftMu.Unlock()
+	st, ok := s.drift[tenant]
+	if !ok {
+		st = &driftState{rng: rand.New(rand.NewSource(1))}
+		s.drift[tenant] = st
+	}
+	s.driftMu.Unlock()
+	st.mu.Lock()
+	if st.gen != h.Generation {
+		st.gen = h.Generation
+		st.baseline = s.baselineFor(tenant, h)
+		st.seen = 0
+		st.res = nil
+	}
+	if st.baseline == nil {
+		st.mu.Unlock()
+		return nil
+	}
+	st.mu.Unlock()
+	return st
+}
+
+// baselineFor resolves a tenant's drift baseline: the explicit
+// Options.TrainingSample for the default tenant, the model's own
+// snapshot-carried sample for registry-backed servers, nothing (drift
+// disabled) otherwise.
+func (s *Server) baselineFor(tenant string, h *registry.Handle) [][]float64 {
+	if tenant == s.opts.DefaultTenant && s.opts.TrainingSample != nil {
+		return s.opts.TrainingSample
+	}
+	if s.modelDrift {
+		if b := h.Detector.TrainingSample(); len(b) > 0 {
+			return b
+		}
+	}
+	return nil
+}
+
+// recordDrift reservoir-samples scored feature vectors into the
+// tenant's drift state.
+func (s *Server) recordDrift(st *driftState, vectors [][]float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for _, v := range vectors {
-		s.driftSeen++
-		if len(s.driftRes) < s.opts.DriftReservoir {
-			s.driftRes = append(s.driftRes, v)
+		st.seen++
+		if len(st.res) < s.opts.DriftReservoir {
+			st.res = append(st.res, v)
 			continue
 		}
-		if j := s.driftRng.Int63n(s.driftSeen); int(j) < len(s.driftRes) {
-			s.driftRes[j] = v
+		if j := st.rng.Int63n(st.seen); int(j) < len(st.res) {
+			st.res[j] = v
 		}
 	}
 }
 
-// ItemsServed reports the number of items scored since start.
+// ItemsServed reports the number of items scored since start, across
+// all tenants.
 func (s *Server) ItemsServed() int64 { return s.served.Load() }
 
 // Handler returns the service's HTTP handler. Every route is wrapped
 // in the obs HTTP middleware and enforces its method, answering 405
-// with an Allow header otherwise.
+// with an Allow header otherwise. Each /v1/* route is registered twice:
+// bare (header/default tenant resolution) and under /t/{tenant}/
+// (explicit path routing); the obs route label is the pattern, so
+// cardinality does not grow with tenants.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, method string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.httpm.Wrap(pattern, allowMethod(method, h)))
+		wrapped := s.httpm.Wrap(pattern, allowMethod(method, h))
+		mux.Handle(pattern, wrapped)
+		mux.Handle("/t/{tenant}"+pattern, s.httpm.Wrap("/t/{tenant}"+pattern, allowMethod(method, h)))
 	}
 	route("/v1/detect", http.MethodPost, s.handleDetect)
 	route("/v1/explain", http.MethodPost, s.handleExplain)
 	route("/v1/importance", http.MethodGet, s.handleImportance)
 	route("/v1/drift", http.MethodGet, s.handleDrift)
 	route("/v1/lexicon", http.MethodGet, s.handleLexicon)
-	route("/healthz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+	single := func(pattern, method string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.httpm.Wrap(pattern, allowMethod(method, h)))
+	}
+	single("/admin/reload", http.MethodPost, s.handleAdminReload)
+	single("/admin/tenants", http.MethodGet, s.handleAdminTenants)
+	single("/healthz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "items_served": s.ItemsServed()})
 	})
-	route("/readyz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+	single("/readyz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
-	mux.Handle("/metrics", s.httpm.Wrap("/metrics", s.reg.Handler()))
+	mux.Handle("/metrics", s.httpm.Wrap("/metrics", s.obsReg.Handler()))
 	return mux
+}
+
+// tenantName resolves which tenant a request addresses: the
+// /t/{tenant}/ path segment wins, then the X-Cats-Tenant header, then
+// the server default.
+func (s *Server) tenantName(r *http.Request) string {
+	if v := r.PathValue("tenant"); v != "" {
+		return v
+	}
+	if v := r.Header.Get("X-Cats-Tenant"); v != "" {
+		return v
+	}
+	return s.opts.DefaultTenant
+}
+
+// acquire leases the request's tenant model for the duration of the
+// request. On failure it has already written the error response (404
+// unknown tenant, 503 no model) and returns ok=false. Callers must
+// Release the handle exactly once when ok.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (string, *registry.Handle, bool) {
+	name := s.tenantName(r)
+	t := s.reg.Tenant(name)
+	if t == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", name))
+		return name, nil, false
+	}
+	h := t.Acquire()
+	if h == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("tenant %q has no model loaded", name))
+		return name, nil, false
+	}
+	return name, h, true
 }
 
 // allowMethod gates a handler to one method, answering anything else
@@ -243,10 +425,15 @@ type DetectionDTO struct {
 	Filtered bool    `json:"filtered"`
 }
 
-// DetectResponse is the /v1/detect response body.
+// DetectResponse is the /v1/detect response body. Tenant and
+// ModelVersion identify the model that scored the request — under hot
+// reload they are the request's provenance record.
 type DetectResponse struct {
-	Detections []DetectionDTO `json:"detections"`
-	Reported   int            `json:"reported"`
+	Detections      []DetectionDTO `json:"detections"`
+	Reported        int            `json:"reported"`
+	Tenant          string         `json:"tenant,omitempty"`
+	ModelVersion    string         `json:"model_version,omitempty"`
+	ModelGeneration uint64         `json:"model_generation,omitempty"`
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -265,14 +452,19 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("%d items exceeds the %d-item limit", len(req.Items), s.opts.MaxItems))
 		return
 	}
+	tenant, h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
 	// One fused pass: the detector returns the feature matrix it
 	// computed while scoring, so drift recording costs no re-extraction.
-	// With batching on, the dispatcher may satisfy part of the request
-	// from batches shared with concurrent callers.
-	dets, X, err := s.detect(r, req.Items)
+	// With batching on, the tenant's dispatcher may satisfy part of the
+	// request from batches shared with concurrent callers.
+	dets, X, err := s.detect(r, h, req.Items)
 	if err != nil {
 		if dispatch.IsShed(err) {
-			s.writeShed(w)
+			s.writeShed(w, h)
 			return
 		}
 		if r.Context().Err() != nil {
@@ -281,7 +473,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	if s.opts.TrainingSample != nil {
+	if st := s.driftFor(tenant, h); st != nil {
 		// Rows are nil for items the sales cutoff dropped before
 		// extraction; drift tracks the distribution of analyzed traffic.
 		vectors := X[:0]
@@ -290,9 +482,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 				vectors = append(vectors, v)
 			}
 		}
-		s.recordDrift(vectors)
+		s.recordDrift(st, vectors)
 	}
-	resp := DetectResponse{Detections: make([]DetectionDTO, len(dets))}
+	resp := DetectResponse{
+		Detections:      make([]DetectionDTO, len(dets)),
+		Tenant:          tenant,
+		ModelVersion:    h.Version,
+		ModelGeneration: h.Generation,
+	}
 	for i, d := range dets {
 		resp.Detections[i] = DetectionDTO{
 			ItemID: d.ItemID, Score: d.Score, IsFraud: d.IsFraud, Filtered: d.Filtered,
@@ -305,23 +502,24 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// detect scores a request's items through the batching dispatcher when
-// configured, or the detector's own fused batch path otherwise.
-func (s *Server) detect(r *http.Request, items []ecom.Item) ([]core.Detection, [][]float64, error) {
-	if s.disp != nil {
-		res, err := s.disp.Submit(r.Context(), items)
+// detect scores a request's items through the handle's batching
+// dispatcher when configured, or the model's own fused batch path
+// otherwise.
+func (s *Server) detect(r *http.Request, h *registry.Handle, items []ecom.Item) ([]core.Detection, [][]float64, error) {
+	if disp := h.Dispatcher(); disp != nil {
+		res, err := disp.Submit(r.Context(), items)
 		return res.Detections, res.Features, err
 	}
-	return s.detector.DetectWithFeatures(r.Context(), items, s.opts.Workers)
+	return h.Detector.DetectWithFeatures(r.Context(), items, s.opts.Workers)
 }
 
 // writeShed answers an admission-control rejection: 503 with the
 // dispatcher's Retry-After hint, telling well-behaved clients when to
 // come back instead of hammering a saturated queue.
-func (s *Server) writeShed(w http.ResponseWriter) {
+func (s *Server) writeShed(w http.ResponseWriter, h *registry.Handle) {
 	secs := 1
-	if s.disp != nil {
-		if v := int(math.Ceil(s.disp.Options().RetryAfter.Seconds())); v > secs {
+	if disp := h.Dispatcher(); disp != nil {
+		if v := int(math.Ceil(disp.Options().RetryAfter.Seconds())); v > secs {
 			secs = v
 		}
 	}
@@ -337,10 +535,12 @@ type ExplainRequest struct {
 
 // ExplainResponse is the /v1/explain response body.
 type ExplainResponse struct {
-	Detection DetectionDTO     `json:"detection"`
-	Features  []gbt.Importance `json:"decision_path_features"`
-	Vector    []float64        `json:"feature_vector"`
-	Names     []string         `json:"feature_names"`
+	Detection    DetectionDTO     `json:"detection"`
+	Features     []gbt.Importance `json:"decision_path_features"`
+	Vector       []float64        `json:"feature_vector"`
+	Names        []string         `json:"feature_names"`
+	Tenant       string           `json:"tenant,omitempty"`
+	ModelVersion string           `json:"model_version,omitempty"`
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -350,16 +550,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Sprintf("decode request: %v", err))
 		return
 	}
+	tenant, h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
 	var det core.Detection
 	var vec []float64
-	if s.disp != nil {
+	if h.Dispatcher() != nil {
 		// Single-item explains ride the same coalescing queue as detect
 		// traffic: an item being explained while it is being scored for
 		// someone else costs one analysis, and overload sheds here too.
-		dets, X, err := s.detect(r, []ecom.Item{req.Item})
+		dets, X, err := s.detect(r, h, []ecom.Item{req.Item})
 		if err != nil {
 			if dispatch.IsShed(err) {
-				s.writeShed(w)
+				s.writeShed(w, h)
 				return
 			}
 			if r.Context().Err() != nil {
@@ -371,7 +576,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		det, vec = dets[0], X[0]
 	} else {
 		var err error
-		det, vec, err = s.detector.DetectItemWithFeatures(&req.Item)
+		det, vec, err = h.Detector.DetectItemWithFeatures(&req.Item)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -380,18 +585,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if vec == nil {
 		// Sales-filtered items skip extraction in the fused pipeline,
 		// but /v1/explain promises the vector; compute it on demand.
-		vec = s.detector.Extractor().Vector(&req.Item)
+		vec = h.Detector.Extractor().Vector(&req.Item)
 	}
-	exp, err := s.detector.ExplainVector(vec)
+	exp, err := h.Detector.ExplainVector(vec)
 	if err != nil {
 		writeError(w, http.StatusNotImplemented, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{
-		Detection: DetectionDTO{ItemID: det.ItemID, Score: det.Score, IsFraud: det.IsFraud, Filtered: det.Filtered},
-		Features:  exp,
-		Vector:    vec,
-		Names:     features.Names,
+		Detection:    DetectionDTO{ItemID: det.ItemID, Score: det.Score, IsFraud: det.IsFraud, Filtered: det.Filtered},
+		Features:     exp,
+		Vector:       vec,
+		Names:        features.Names,
+		Tenant:       tenant,
+		ModelVersion: h.Version,
 	})
 }
 
@@ -401,8 +608,13 @@ type ImportanceResponse struct {
 }
 
 func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request) {
-	g, ok := s.detector.Classifier().(*gbt.Classifier)
+	_, h, ok := s.acquire(w, r)
 	if !ok {
+		return
+	}
+	defer h.Release()
+	g, ok2 := h.Detector.Classifier().(*gbt.Classifier)
+	if !ok2 {
 		writeError(w, http.StatusNotImplemented, "classifier has no split-count importance")
 		return
 	}
@@ -427,20 +639,34 @@ type DriftResponse struct {
 	Features      []DriftFeature `json:"features"`
 	// MaxKS is the worst per-feature divergence — the headline drift
 	// signal to alert on.
-	MaxKS float64 `json:"max_ks"`
+	MaxKS  float64 `json:"max_ks"`
+	Tenant string  `json:"tenant,omitempty"`
+	// ModelGeneration is the generation the reservoir was collected
+	// under; a reload resets the sample.
+	ModelGeneration uint64 `json:"model_generation,omitempty"`
 }
 
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
-	if s.opts.TrainingSample == nil {
+	tenant, h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	st := s.driftFor(tenant, h)
+	if st == nil {
 		writeError(w, http.StatusNotImplemented, "drift tracking disabled: no training sample configured")
 		return
 	}
-	s.driftMu.Lock()
-	sample := make([][]float64, len(s.driftRes))
-	copy(sample, s.driftRes)
-	seen := s.driftSeen
-	s.driftMu.Unlock()
-	resp := DriftResponse{ItemsObserved: seen, SampleSize: len(sample)}
+	st.mu.Lock()
+	sample := make([][]float64, len(st.res))
+	copy(sample, st.res)
+	seen := st.seen
+	baseline := st.baseline
+	st.mu.Unlock()
+	resp := DriftResponse{
+		ItemsObserved: seen, SampleSize: len(sample),
+		Tenant: tenant, ModelGeneration: h.Generation,
+	}
 	if len(sample) == 0 {
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -453,7 +679,7 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		return out
 	}
 	for j, name := range features.Names {
-		ks := stats.KS(column(s.opts.TrainingSample, j), column(sample, j))
+		ks := stats.KS(column(baseline, j), column(sample, j))
 		resp.Features = append(resp.Features, DriftFeature{Feature: name, KS: ks})
 		if ks > resp.MaxKS {
 			resp.MaxKS = ks
@@ -470,10 +696,93 @@ type LexiconResponse struct {
 }
 
 func (s *Server) handleLexicon(w http.ResponseWriter, r *http.Request) {
+	_, h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
 	writeJSON(w, http.StatusOK, LexiconResponse{
-		Positive:     s.analyzer.Positive.Words(),
-		Negative:     s.analyzer.Negative.Words(),
+		Positive:     h.Analyzer.Positive.Words(),
+		Negative:     h.Analyzer.Negative.Words(),
 		FeatureNames: features.Names,
+	})
+}
+
+// ReloadRequest is the /admin/reload request body: which tenant to
+// reload, and optionally a new snapshot path (otherwise the tenant's
+// remembered source is re-read).
+type ReloadRequest struct {
+	Tenant string `json:"tenant"`
+	Path   string `json:"path,omitempty"`
+}
+
+// authAdmin enforces Bearer-token auth on /admin/*: 403 when no token
+// is configured (the endpoints are disabled), 401 on a missing or
+// wrong token. The comparison is constant-time.
+func (s *Server) authAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if s.opts.AdminToken == "" {
+		writeError(w, http.StatusForbidden, "admin endpoints disabled: no admin token configured")
+		return false
+	}
+	tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if subtle.ConstantTimeCompare([]byte(tok), []byte(s.opts.AdminToken)) != 1 {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="cats-admin"`)
+		writeError(w, http.StatusUnauthorized, "missing or invalid admin token")
+		return false
+	}
+	return true
+}
+
+// handleAdminReload hot-reloads one tenant's model: load → golden-probe
+// validation → atomic swap, via the registry. A rejected or unreadable
+// candidate answers 422 with the registry's diagnosable error (snapshot
+// version, byte offset, probe verdicts) and leaves the old model live.
+// With a path in the body, the tenant is (re)pointed at that snapshot —
+// which also creates new tenants at runtime.
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if !s.authAdmin(w, r) {
+		return
+	}
+	var req ReloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, decodeStatus(err), fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, "tenant required")
+		return
+	}
+	var info registry.Info
+	var err error
+	if req.Path != "" {
+		info, err = s.reg.LoadFile(r.Context(), req.Tenant, req.Path)
+	} else {
+		if s.reg.Tenant(req.Tenant) == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", req.Tenant))
+			return
+		}
+		info, err = s.reg.Reload(r.Context(), req.Tenant)
+	}
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, registry.ErrNoSource) {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleAdminTenants lists every tenant's live model.
+func (s *Server) handleAdminTenants(w http.ResponseWriter, r *http.Request) {
+	if !s.authAdmin(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": s.opts.DefaultTenant,
+		"tenants": s.reg.Infos(),
 	})
 }
 

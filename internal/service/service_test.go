@@ -527,10 +527,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	probes := map[string]string{
 		"requests": `cats_http_requests_total{route="/v1/detect",code="200"}`,
-		"scored":   `cats_pipeline_items_total{outcome="scored"}`,
-		"dropped":  `cats_pipeline_items_total{outcome="filtered_sales"}`,
-		"analyze":  `cats_pipeline_stage_seconds_count{stage="analyze"}`,
-		"score":    `cats_pipeline_stage_seconds_count{stage="score"}`,
+		"scored":   `cats_pipeline_items_total{outcome="scored",tenant="default"}`,
+		"dropped":  `cats_pipeline_items_total{outcome="filtered_sales",tenant="default"}`,
+		"analyze":  `cats_pipeline_stage_seconds_count{stage="analyze",tenant="default"}`,
+		"score":    `cats_pipeline_stage_seconds_count{stage="score",tenant="default"}`,
 		"comments": `cats_features_comments_analyzed_total`,
 		"batch":    `cats_pipeline_batch_size_count`,
 	}
@@ -551,7 +551,7 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("%s (%s) did not move: before %g, after %g", k, prefix, before[k], after)
 		}
 	}
-	if n := scrapeMetric(t, ts.URL, `cats_pipeline_items_total{outcome="filtered_sales"}`); n < float64(len(items)/2) {
+	if n := scrapeMetric(t, ts.URL, `cats_pipeline_items_total{outcome="filtered_sales",tenant="default"}`); n < float64(len(items)/2) {
 		t.Errorf("filtered_sales = %g, want at least %d", n, len(items)/2)
 	}
 	// The in-flight gauge must be back to zero between requests.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
 )
@@ -20,17 +21,40 @@ func (s *System) Save(w io.Writer, vocabulary []string) error {
 	return core.WriteSnapshot(w, snap)
 }
 
-// SaveFile saves the system to path (see Save).
+// SaveFile saves the system to path (see Save). The write is atomic:
+// the snapshot lands in a temporary file in path's directory, is
+// fsynced, and only then renamed over path — so a crash mid-save can
+// never leave a truncated model where a serving reload (or the next
+// boot) would pick it up. On any failure the temporary file is removed
+// and path is untouched.
 func (s *System) SaveFile(path string, vocabulary []string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("cats: save: %w", err)
 	}
-	if err := s.Save(f, vocabulary); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := s.Save(f, vocabulary); err != nil {
+		return cleanup(err)
+	}
+	// Flush to stable storage before the rename publishes the file:
+	// rename-over is only crash-safe when the new bytes are durable.
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("cats: save: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cats: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cats: save: %w", err)
+	}
+	return nil
 }
 
 // Load reconstructs a trained system saved with Save. The restored

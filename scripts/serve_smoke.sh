@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end lifecycle smoke for cmd/catsserve.
 #
-# Trains a tiny model, boots catsserve, probes /healthz, /readyz and
-# /metrics (asserting the pipeline's own counters moved after a
-# /v1/detect), then sends SIGTERM and requires a clean exit. CI runs
-# this via `make serve-smoke`; it needs only the go toolchain and curl.
+# Trains a tiny model, boots catsserve with TWO tenants from a -models
+# directory, drives concurrent detect traffic at both, hot-reloads one
+# tenant via the authenticated /admin/reload mid-traffic (asserting
+# zero non-2xx responses across the swap and that
+# cats_registry_reloads_total moved), picks up a third tenant via
+# SIGHUP re-scan, probes /healthz, /readyz and /metrics (asserting the
+# tenant-labeled pipeline counters moved), then sends SIGTERM and
+# requires a clean exit. CI runs this via `make serve-smoke`; it needs
+# only the go toolchain and curl.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PORT="${SERVE_SMOKE_PORT:-18473}"
 BASE="http://127.0.0.1:${PORT}"
+TOKEN="smoke-admin-token"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 
@@ -28,11 +34,17 @@ go run ./cmd/cats -train "${WORK}/train.jsonl" -corpus 2000 \
   -save-model "${WORK}/model.json" \
   -detect "${WORK}/train.jsonl" -out /dev/null
 
-echo "== serve-smoke: boot catsserve on ${BASE} (batching on)"
+mkdir -p "${WORK}/models"
+cp "${WORK}/model.json" "${WORK}/models/taobao.json"
+cp "${WORK}/model.json" "${WORK}/models/eplatform.json"
+
+echo "== serve-smoke: boot catsserve on ${BASE} (two tenants, batching on)"
 go build -o "${WORK}/catsserve" ./cmd/catsserve
-"${WORK}/catsserve" -model "${WORK}/model.json" -addr "127.0.0.1:${PORT}" \
+"${WORK}/catsserve" -models "${WORK}/models" -default-tenant taobao \
+  -admin-token "${TOKEN}" -addr "127.0.0.1:${PORT}" \
   -shutdown-timeout 10s \
-  -batch -batch-max-size 64 -batch-max-wait 2ms -queue-depth 512 -retry-after 1s &
+  -batch -batch-max-size 64 -batch-max-wait 2ms -queue-depth 512 -retry-after 1s \
+  -tenant-max-concurrency 4 &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
@@ -49,37 +61,111 @@ curl -fsS "${BASE}/healthz" >/dev/null
 curl -fsS "${BASE}/readyz" >/dev/null
 echo "== serve-smoke: /healthz and /readyz OK"
 
-echo "== serve-smoke: POST /v1/detect (concurrent burst through the batcher)"
+echo "== serve-smoke: admin surface requires the bearer token"
+if curl -fsS "${BASE}/admin/tenants" >/dev/null 2>&1; then
+  echo "serve-smoke: FAIL: /admin/tenants answered without a token" >&2
+  exit 1
+fi
+TENANTS="$(curl -fsS -H "Authorization: Bearer ${TOKEN}" "${BASE}/admin/tenants")"
+for t in taobao eplatform; do
+  if ! grep -qF "\"tenant\":\"${t}\"" <<<"${TENANTS}"; then
+    echo "serve-smoke: FAIL: tenant ${t} missing from /admin/tenants: ${TENANTS}" >&2
+    exit 1
+  fi
+done
+
+# reload_ok_count <tenant> — current cats_registry_reloads_total ok
+# count for the tenant (boot's own load counts as the first one).
+reload_ok_count() {
+  curl -fsS "${BASE}/metrics" \
+    | awk -v s="cats_registry_reloads_total{outcome=\"ok\",tenant=\"$1\"}" \
+        'index($0, s) == 1 { print $2; found = 1 } END { if (!found) print 0 }'
+}
+RELOADS_BEFORE="$(reload_ok_count eplatform)"
+
+echo "== serve-smoke: concurrent detects on both tenants across a hot reload"
 ITEM_JSON="$(head -n 1 "${WORK}/train.jsonl")"
 CURL_PIDS=()
-for i in $(seq 1 8); do
-  curl -fsS -X POST -H 'Content-Type: application/json' \
-    -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/v1/detect" >/dev/null &
-  CURL_PIDS+=("$!")
-done
+burst() {
+  local path=$1
+  for i in $(seq 1 6); do
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+      -d "{\"items\":[${ITEM_JSON}]}" "${BASE}${path}" >/dev/null &
+    CURL_PIDS+=("$!")
+  done
+}
+burst "/v1/detect"                  # default tenant (taobao)
+burst "/t/eplatform/v1/detect"      # path-routed tenant
+curl -fsS -X POST -H "Authorization: Bearer ${TOKEN}" \
+  -d '{"tenant":"eplatform"}' "${BASE}/admin/reload" >/dev/null
+burst "/t/eplatform/v1/detect"      # rides the freshly-swapped model
+burst "/t/taobao/v1/detect"
 # Wait on the curl jobs only — a bare `wait` would also block on the
-# server background job, which never exits on its own.
-wait "${CURL_PIDS[@]}"
+# server background job, which never exits on its own. curl -f exits
+# non-zero on any non-2xx answer, so one shed/error anywhere (including
+# mid-swap) fails the smoke.
+DETECT_FAIL=0
+for pid in "${CURL_PIDS[@]}"; do
+  wait "${pid}" || DETECT_FAIL=1
+done
+if [[ "${DETECT_FAIL}" -ne 0 ]]; then
+  echo "serve-smoke: FAIL: a detect answered non-2xx during the hot reload" >&2
+  exit 1
+fi
+
+RELOADS_AFTER="$(reload_ok_count eplatform)"
+if ! awk -v a="${RELOADS_AFTER}" -v b="${RELOADS_BEFORE}" 'BEGIN { exit !(a > b) }'; then
+  echo "serve-smoke: FAIL: cats_registry_reloads_total{ok,eplatform} did not move (${RELOADS_BEFORE} -> ${RELOADS_AFTER})" >&2
+  exit 1
+fi
+echo "== serve-smoke: hot reload swapped with zero failed requests (ok reloads ${RELOADS_BEFORE} -> ${RELOADS_AFTER})"
+
+echo "== serve-smoke: a rejected reload leaves the tenant serving"
+printf '{"version":1,"analyzer"' > "${WORK}/models/broken.tmp"
+if curl -fsS -X POST -H "Authorization: Bearer ${TOKEN}" \
+  -d "{\"tenant\":\"eplatform\",\"path\":\"${WORK}/models/broken.tmp\"}" \
+  "${BASE}/admin/reload" >/dev/null 2>&1; then
+  echo "serve-smoke: FAIL: truncated snapshot was accepted" >&2
+  exit 1
+fi
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/t/eplatform/v1/detect" >/dev/null
+
+echo "== serve-smoke: SIGHUP re-scan picks up a new tenant"
+cp "${WORK}/model.json" "${WORK}/models/mobile.json"
+kill -HUP "${SERVER_PID}"
+for i in $(seq 1 50); do
+  if curl -fsS -H "Authorization: Bearer ${TOKEN}" "${BASE}/admin/tenants" | grep -qF '"tenant":"mobile"'; then
+    break
+  fi
+  sleep 0.2
+done
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/t/mobile/v1/detect" >/dev/null
 
 echo "== serve-smoke: scrape /metrics"
 METRICS="$(curl -fsS "${BASE}/metrics")"
 for want in \
   'cats_http_requests_total{route="/v1/detect",code="200"}' \
-  'cats_pipeline_items_total' \
-  'cats_pipeline_stage_seconds_count{stage="analyze"}' \
+  'cats_http_requests_total{route="/t/{tenant}/v1/detect",code="200"}' \
+  'cats_pipeline_items_total{outcome="scored",tenant="taobao"}' \
+  'cats_pipeline_items_total{outcome="scored",tenant="eplatform"}' \
+  'cats_pipeline_stage_seconds_count{stage="analyze",tenant="taobao"}' \
   'cats_features_comments_analyzed_total' \
-  'cats_serve_batches_total' \
-  'cats_serve_batch_size_count' \
-  'cats_serve_queue_depth' \
-  'cats_serve_coalesced_total' \
-  'cats_serve_shed_total{reason="queue_full"}'; do
+  'cats_serve_batches_total{tenant="taobao"}' \
+  'cats_serve_batch_size_count{tenant="eplatform"}' \
+  'cats_serve_queue_depth{tenant="taobao"}' \
+  'cats_serve_coalesced_total{tenant="taobao"}' \
+  'cats_serve_shed_total{reason="queue_full",tenant="taobao"}' \
+  'cats_registry_model_version{tenant="mobile"}' \
+  'cats_registry_reloads_total{outcome="ok",tenant="taobao"}'; do
   if ! grep -qF "${want}" <<<"${METRICS}"; then
     echo "serve-smoke: FAIL: /metrics is missing ${want}" >&2
     exit 1
   fi
 done
-if ! grep -E '^cats_serve_batches_total [1-9]' <<<"${METRICS}" >/dev/null; then
-  echo "serve-smoke: FAIL: cats_serve_batches_total did not move; batcher not in the path" >&2
+if ! grep -E '^cats_serve_batches_total\{tenant="taobao"\} [1-9]' <<<"${METRICS}" >/dev/null; then
+  echo "serve-smoke: FAIL: cats_serve_batches_total{taobao} did not move; batcher not in the path" >&2
   exit 1
 fi
 echo "== serve-smoke: metric names present and counting"
