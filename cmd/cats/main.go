@@ -5,7 +5,7 @@
 //
 //	cats -train d0.jsonl -detect items.jsonl [-classifier xgboost]
 //	     [-threshold 0.5] [-corpus 20000] [-out detections.tsv]
-//	     [-save-model model.json]
+//	     [-save-model model.json] [-model-format json|columnar]
 //	cats -load-model model.json -detect items.jsonl
 //
 // The semantic analyzer (word2vec lexicons + sentiment model) is
@@ -39,18 +39,28 @@ func main() {
 		corpusSize = flag.Int("corpus", 20000, "generated comments for word2vec training")
 		outPath    = flag.String("out", "-", "output path ('-' = stdout)")
 		savePath   = flag.String("save-model", "", "save the trained system to this path")
+		saveFmt    = flag.String("model-format", "json", "format for -save-model: json or columnar (loads sniff either)")
 		loadPath   = flag.String("load-model", "", "load a previously saved system instead of training")
 	)
 	flag.Parse()
-	if err := run(*trainPath, *detectPath, *clf, *threshold, *corpusSize, *outPath, *savePath, *loadPath); err != nil {
+	if err := run(*trainPath, *detectPath, *clf, *threshold, *corpusSize, *outPath, *savePath, *saveFmt, *loadPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cats:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trainPath, detectPath, clf string, threshold float64, corpusSize int, outPath, savePath, loadPath string) error {
+func run(trainPath, detectPath, clf string, threshold float64, corpusSize int, outPath, savePath, saveFmt, loadPath string) error {
 	if detectPath == "" {
 		return fmt.Errorf("-detect is required")
+	}
+	var format cats.SnapshotFormat
+	switch saveFmt {
+	case "json":
+		format = cats.FormatJSON
+	case "columnar":
+		format = cats.FormatColumnar
+	default:
+		return fmt.Errorf("unknown -model-format %q (want json or columnar)", saveFmt)
 	}
 	toScore, err := os.Open(detectPath)
 	if err != nil {
@@ -89,10 +99,10 @@ func run(trainPath, detectPath, clf string, threshold float64, corpusSize int, o
 		return fmt.Errorf("either -train or -load-model is required")
 	}
 	if savePath != "" {
-		if err := sys.SaveFile(savePath, bank.Vocabulary()); err != nil {
+		if err := sys.SaveFileFormat(savePath, bank.Vocabulary(), format); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "cats: saved model to %s\n", savePath)
+		fmt.Fprintf(os.Stderr, "cats: saved model to %s (%s)\n", savePath, saveFmt)
 	}
 
 	var w io.Writer = os.Stdout

@@ -6,7 +6,7 @@
 //
 //	catsbench [-exp all|table1|table3|table4|table5|table6|
 //	           fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig10|fig11|fig12|fig13|
-//	           eplatform|riskyusers|throughput|serve|
+//	           eplatform|riskyusers|throughput|serve|corpus|
 //	           filterablation|featureablation|lexiconablation|gbtablation]
 //	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
 //	          [-json]
@@ -40,6 +40,7 @@ func main() {
 		epscale = flag.Float64("epscale", 0, "E-platform scale factor (default 0.002)")
 		sample  = flag.Int("sample", 0, "per-class item sample for distribution figures (default 400)")
 		corpus  = flag.Int("corpus", 0, "word2vec corpus comments (default 20000)")
+		stream  = flag.Int("streamcomments", 0, "corpus-experiment streamed comment volume (default 200000)")
 		seed    = flag.Int64("seed", 0, "seed offset for all universes")
 		asJSON  = flag.Bool("json", false, "also write BENCH_<exp>.json per experiment (ns, allocs, result)")
 	)
@@ -47,7 +48,7 @@ func main() {
 
 	lab := experiments.NewLab(experiments.Config{
 		D0Scale: *d0scale, D1Scale: *d1scale, EPlatScale: *epscale,
-		SampleItems: *sample, CorpusComments: *corpus, Seed: *seed,
+		SampleItems: *sample, CorpusComments: *corpus, StreamComments: *stream, Seed: *seed,
 	})
 	if err := run(lab, *exp, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "catsbench:", err)
@@ -61,7 +62,7 @@ var experimentOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "appendix",
 	"fig10", "fig11", "fig12", "fig13",
 	"eplatform", "riskyusers", "timeaspect", "deployment", "thresholdsweep", "robustness",
-	"learningcurve", "roundscurve", "throughput", "serve",
+	"learningcurve", "roundscurve", "throughput", "serve", "corpus",
 	"filterablation", "featureablation", "lexiconablation", "gbtablation",
 }
 
@@ -149,6 +150,8 @@ func run(lab *experiments.Lab, exp string, asJSON bool) error {
 		out, err = lab.Throughput()
 	case "serve":
 		out, err = lab.Serve()
+	case "corpus":
+		out, err = lab.Corpus()
 	case "filterablation":
 		out, err = lab.FilterAblation()
 	case "featureablation":

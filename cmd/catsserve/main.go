@@ -14,12 +14,12 @@
 //	-model model.json          one model as the "default" tenant (the
 //	                           classic single-tenant invocation)
 //	-tenant name=model.json    one named tenant; repeatable
-//	-models dir/               every *.json in dir becomes a tenant
+//	-models dir/               every *.json or *.catc in dir becomes a tenant
 //	                           named after its base name
 //
 // SIGHUP re-scans: every tenant's snapshot source is re-read through
 // the load → golden-probe validation → atomic swap sequence, and new
-// *.json files in the -models directory become new tenants. A snapshot
+// snapshot files in the -models directory become new tenants. A snapshot
 // that fails validation is logged and skipped; the tenant keeps
 // serving its old model. The same reload is available per tenant over
 // HTTP via POST /admin/reload when -admin-token is set.
@@ -102,7 +102,7 @@ func main() {
 	var (
 		modelPath = flag.String("model", "", "trained model JSON, served as the \"default\" tenant")
 		modelsDir = flag.String("models", "",
-			"directory of trained model JSON files; each *.json becomes a tenant named after its base name")
+			"directory of trained model snapshots; each *.json or *.catc becomes a tenant named after its base name")
 		defaultTenant = flag.String("default-tenant", "",
 			"tenant bare /v1/* requests route to (default: \"default\", or the sole tenant when exactly one is loaded)")
 		adminToken = flag.String("admin-token", "",
@@ -276,8 +276,9 @@ func main() {
 	log.Printf("catsserve: exiting cleanly; served %d items", srv.ItemsServed())
 }
 
-// scanModels loads every *.json in dir as a tenant named after its
-// base name. With fatal=false (SIGHUP re-scan) only tenants not yet
+// scanModels loads every *.json and *.catc (columnar) snapshot in dir
+// as a tenant named after its base name; the registry sniffs the actual
+// format from the file's magic bytes. With fatal=false (SIGHUP re-scan) only tenants not yet
 // registered are loaded — existing ones were just refreshed by
 // ReloadAll — and individual failures are logged, not returned.
 func scanModels(ctx context.Context, reg *registry.Registry, dir string, fatal bool) error {
@@ -288,10 +289,17 @@ func scanModels(ctx context.Context, reg *registry.Registry, dir string, fatal b
 	loaded := 0
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+		ext := ""
+		switch {
+		case strings.HasSuffix(name, ".json"):
+			ext = ".json"
+		case strings.HasSuffix(name, ".catc"):
+			ext = ".catc"
+		}
+		if e.IsDir() || ext == "" {
 			continue
 		}
-		tenant := strings.TrimSuffix(name, ".json")
+		tenant := strings.TrimSuffix(name, ext)
 		if !fatal {
 			if t := reg.Tenant(tenant); t != nil && t.Source() != "" {
 				continue
@@ -309,7 +317,7 @@ func scanModels(ctx context.Context, reg *registry.Registry, dir string, fatal b
 		log.Printf("catsserve: tenant %s: loaded %s (generation %d)", info.Tenant, info.Version, info.Generation)
 	}
 	if fatal && loaded == 0 {
-		return fmt.Errorf("no *.json models found in %s", dir)
+		return fmt.Errorf("no *.json or *.catc models found in %s", dir)
 	}
 	return nil
 }

@@ -1,0 +1,314 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindSnapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock("meta", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !Sniff(buf.Bytes()) {
+		t.Fatal("written container does not sniff as columnar")
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindSnapshot {
+		t.Fatalf("kind = %d, want %d", r.Kind(), KindSnapshot)
+	}
+	name, payload, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "meta" || string(payload) != "hello" {
+		t.Fatalf("block = %q %q", name, payload)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at container end, got %v", err)
+	}
+}
+
+func TestSniff(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"CATC", true},
+		{"CATCxx", true},
+		{"CAT", false},
+		{"", false},
+		{`{"version":1}`, false},
+		{"catc", false},
+	} {
+		if got := Sniff([]byte(tc.in)); got != tc.want {
+			t.Errorf("Sniff(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	var arena Arena
+	var e Enc
+	strs := []string{"", "a", "hello", strings.Repeat("x", 300), ""}
+	ints := []int64{0, -1, 1, math.MaxInt64, math.MinInt64}
+	floats := []float64{0, -0.0, 1.5, math.Inf(1), math.SmallestNonzeroFloat64, math.Pi}
+	bts := []byte{0, 1, 255}
+
+	e.Uvarint(42)
+	e.Varint(-7)
+	e.Str("scalar")
+	e.Bool(true)
+	e.Byte(9)
+	e.F64(2.5)
+	e.StringCol(&arena, strs)
+	e.IntCol(ints)
+	e.IntsCol([]int{3, -4})
+	e.F64Col(floats)
+	e.ByteCol(bts)
+
+	d := NewDec("t", e.Bytes())
+	as := string(arena.Bytes())
+	if got := d.Uvarint(); got != 42 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := d.Varint(); got != -7 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := d.Str(); got != "scalar" {
+		t.Fatalf("Str = %q", got)
+	}
+	if !d.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if got := d.Byte(); got != 9 {
+		t.Fatalf("Byte = %d", got)
+	}
+	if got := d.F64(); got != 2.5 {
+		t.Fatalf("F64 = %v", got)
+	}
+	gotStrs := d.StringCol(as)
+	if len(gotStrs) != len(strs) {
+		t.Fatalf("StringCol len = %d", len(gotStrs))
+	}
+	for i := range strs {
+		if gotStrs[i] != strs[i] {
+			t.Fatalf("string %d = %q, want %q", i, gotStrs[i], strs[i])
+		}
+	}
+	gotInts := d.IntCol()
+	for i := range ints {
+		if gotInts[i] != ints[i] {
+			t.Fatalf("int %d = %d, want %d", i, gotInts[i], ints[i])
+		}
+	}
+	if gi := d.IntsCol(); gi[0] != 3 || gi[1] != -4 {
+		t.Fatalf("IntsCol = %v", gi)
+	}
+	gotF := d.F64Col()
+	for i := range floats {
+		if math.Float64bits(gotF[i]) != math.Float64bits(floats[i]) {
+			t.Fatalf("float %d bits differ: %v vs %v", i, gotF[i], floats[i])
+		}
+	}
+	if gb := d.ByteCol(); !bytes.Equal(gb, bts) {
+		t.Fatalf("ByteCol = %v", gb)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringColZeroCopy(t *testing.T) {
+	var arena Arena
+	var e Enc
+	e.StringCol(&arena, []string{"alpha", "beta"})
+	as := string(arena.Bytes())
+	d := NewDec("t", e.Bytes())
+	got := d.StringCol(as)
+	// Zero-copy contract: the decoded strings are slices of the arena
+	// string, not fresh allocations.
+	if got[0] != as[0:5] || got[1] != as[5:9] {
+		t.Fatalf("decoded strings %q do not match arena slices of %q", got, as)
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindDataset)
+	if err := w.WriteBlock("data", []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0x40 // flip a payload bit
+
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = r.Next()
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if ce.Block != "data" || !strings.Contains(ce.Msg, "crc mismatch") {
+		t.Fatalf("error = %v", ce)
+	}
+	if ce.Version != FormatVersion || ce.Offset == 0 {
+		t.Fatalf("error missing diagnostics: %+v", ce)
+	}
+}
+
+func TestTruncatedContainer(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindDataset)
+	w.WriteBlock("data", bytes.Repeat([]byte("z"), 100))
+	full := buf.Bytes()
+
+	// Every strict prefix must fail with a diagnosable error (or a
+	// clean EOF exactly at the block boundary), never a panic.
+	for cut := 0; cut < len(full); cut++ {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			if cut >= headerSize {
+				t.Fatalf("header rejected at cut %d: %v", cut, err)
+			}
+			continue
+		}
+		_, _, err = r.Next()
+		if err == nil {
+			t.Fatalf("cut %d: truncated block decoded successfully", cut)
+		}
+		if err == io.EOF && cut != headerSize {
+			t.Fatalf("cut %d: clean EOF inside a frame", cut)
+		}
+	}
+}
+
+func TestBadMagicAndVersionAndKind(t *testing.T) {
+	if _, err := NewReader(strings.NewReader(`{"json":1}`)); err == nil {
+		t.Fatal("JSON accepted as columnar")
+	}
+	bad := []byte{'C', 'A', 'T', 'C', 99, KindSnapshot}
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	bad = []byte{'C', 'A', 'T', 'C', FormatVersion, 77}
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+}
+
+func TestDecStickyErrors(t *testing.T) {
+	d := NewDec("blk", []byte{0x01}) // one byte: not enough for a u32
+	_ = d.U32()
+	if d.Err() == nil {
+		t.Fatal("truncated u32 not detected")
+	}
+	// Subsequent reads return zero values without panicking and the
+	// first error is retained.
+	first := d.Err().Error()
+	_ = d.F64()
+	_ = d.StringCol("")
+	if d.Err().Error() != first {
+		t.Fatal("sticky error was replaced")
+	}
+	var ce *Error
+	if !errors.As(d.Err(), &ce) || ce.Block != "blk" {
+		t.Fatalf("error lacks block context: %v", d.Err())
+	}
+}
+
+func TestDecCountGuard(t *testing.T) {
+	// A column claiming 2^40 floats inside a 10-byte payload must fail
+	// before allocating.
+	var e Enc
+	e.Uvarint(1 << 40)
+	d := NewDec("t", append(e.Bytes(), 1, 2, 3))
+	if got := d.F64Col(); got != nil || d.Err() == nil {
+		t.Fatalf("oversized count decoded: %v, err %v", got, d.Err())
+	}
+}
+
+func TestStringColBounds(t *testing.T) {
+	// End offsets beyond the arena, or moving backwards, are corruption.
+	var e Enc
+	e.Uvarint(1) // one string
+	e.U32(0)     // base
+	e.U32(100)   // end beyond arena
+	d := NewDec("t", e.Bytes())
+	if got := d.StringCol("short"); got != nil || d.Err() == nil {
+		t.Fatalf("out-of-bounds string decoded: %v", got)
+	}
+
+	var e2 Enc
+	e2.Uvarint(2)
+	e2.U32(3) // base
+	e2.U32(5)
+	e2.U32(2) // backwards
+	d = NewDec("t", e2.Bytes())
+	if got := d.StringCol("abcdefgh"); got != nil || d.Err() == nil {
+		t.Fatalf("backwards string offsets decoded: %v", got)
+	}
+}
+
+func TestDoneRejectsTrailingBytes(t *testing.T) {
+	var e Enc
+	e.Uvarint(7)
+	payload := append(e.Bytes(), 0xAA)
+	d := NewDec("t", payload)
+	if got := d.Uvarint(); got != 7 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if err := d.Done(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+}
+
+func TestUnknownBlocksSkippable(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindSnapshot)
+	w.WriteBlock("future-block", []byte("from a newer writer"))
+	w.WriteBlock("meta", []byte("m"))
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for {
+		name, _, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	if len(names) != 2 || names[0] != "future-block" || names[1] != "meta" {
+		t.Fatalf("blocks = %v", names)
+	}
+}
+
+func TestWriterRejectsBadBlockNames(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindSnapshot)
+	if err := w.WriteBlock("", nil); err == nil {
+		t.Fatal("empty block name accepted")
+	}
+	w2, _ := NewWriter(&buf, KindSnapshot)
+	if err := w2.WriteBlock(strings.Repeat("n", 300), nil); err == nil {
+		t.Fatal("overlong block name accepted")
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 
+	"repro/internal/colfmt"
 	"repro/internal/lexicon"
 	"repro/internal/ml/gbt"
 	"repro/internal/sentiment"
@@ -148,6 +150,19 @@ func DetectorFromSnapshot(s *DetectorSnapshot) (*Detector, *Analyzer, error) {
 	return d, a, nil
 }
 
+// SnapshotFormat selects the on-disk encoding of a detector snapshot.
+type SnapshotFormat int
+
+const (
+	// FormatJSON is the row-oriented import/export codec: diffable,
+	// editable, interoperable.
+	FormatJSON SnapshotFormat = iota
+	// FormatColumnar is the native binary codec (internal/colfmt):
+	// column blocks over a shared string arena, built for fast loads
+	// at corpus scale. ReadSnapshot accepts either transparently.
+	FormatColumnar
+)
+
 // WriteSnapshot JSON-encodes a detector snapshot to w.
 func WriteSnapshot(w io.Writer, s *DetectorSnapshot) error {
 	enc := json.NewEncoder(w)
@@ -157,14 +172,42 @@ func WriteSnapshot(w io.Writer, s *DetectorSnapshot) error {
 	return nil
 }
 
-// ReadSnapshot decodes a detector snapshot from r. Decode failures are
-// diagnosable from the error alone: the message carries the byte offset
-// the decoder died at and the snapshot version when the stream got far
-// enough to reveal one — the detail a failed tenant reload surfaces in
-// its /admin/reload response body.
+// WriteSnapshotFormat encodes a detector snapshot in the chosen format.
+func WriteSnapshotFormat(w io.Writer, s *DetectorSnapshot, f SnapshotFormat) error {
+	switch f {
+	case FormatJSON:
+		return WriteSnapshot(w, s)
+	case FormatColumnar:
+		return WriteSnapshotColumnar(w, s)
+	default:
+		return fmt.Errorf("core: unknown snapshot format %d", f)
+	}
+}
+
+// ReadSnapshot decodes a detector snapshot from r, sniffing the format
+// from the leading magic bytes: columnar containers and JSON snapshots
+// are both accepted, so every load path (cats.Load, registry.LoadFile,
+// catsserve -models) handles either transparently. Reads are buffered
+// here, so callers can hand over a bare *os.File without the decoder
+// issuing small reads against it.
+//
+// Decode failures are diagnosable from the error alone: JSON errors
+// carry the byte offset the decoder died at and the snapshot version
+// when the stream got far enough to reveal one; columnar errors carry
+// the format version, block name, and byte offset (colfmt.Error) — the
+// detail a failed tenant reload surfaces in its /admin/reload response
+// body.
 func ReadSnapshot(r io.Reader) (*DetectorSnapshot, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	prefix, _ := br.Peek(4)
+	if colfmt.Sniff(prefix) {
+		return readSnapshotColumnar(br)
+	}
 	var s DetectorSnapshot
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(br)
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot (%s): %w", decodeFailureDetail(dec, err, s.Version), err)
 	}

@@ -1,7 +1,11 @@
-// Package dataset persists collected e-commerce records as streaming
-// JSONL (one item per line), the storage format CATS' data collector
-// writes and its feature extractor reads. Readers and writers stream,
-// so datasets larger than memory can be processed item by item.
+// Package dataset persists collected e-commerce records in two
+// formats: streaming JSONL (one item per line — the import/export
+// format CATS' data collector writes) and the columnar binary
+// container (internal/colfmt — the native format for corpus-scale
+// runs, where JSON decode cost dominates). Readers sniff the format
+// from the leading magic bytes; writers pick one explicitly. Both
+// stream, so datasets larger than memory are processed item by item
+// with bounded peak RSS.
 package dataset
 
 import (
@@ -11,48 +15,74 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/colfmt"
 	"repro/internal/ecom"
 )
 
-// Writer streams items to JSONL.
+// Format selects a dataset encoding.
+type Format int
+
+const (
+	// FormatJSONL is one JSON item per line.
+	FormatJSONL Format = iota
+	// FormatColumnar is the colfmt binary container: chunks of items
+	// as column blocks over a shared string arena. Decoded strings
+	// alias the chunk arena — zero copies per comment.
+	FormatColumnar
+)
+
+// itemEncoder is one output format behind Writer.
+type itemEncoder interface {
+	write(item *ecom.Item) error
+	// finish flushes buffered state; the Writer owns the closer.
+	finish() error
+}
+
+// Writer streams items to JSONL or the columnar container.
 type Writer struct {
-	w   *bufio.Writer
+	enc itemEncoder
 	c   io.Closer
 	n   int
 	err error
 }
 
-// NewWriter wraps w. Close flushes but does not close w.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+// NewWriter wraps w as a JSONL writer. Close flushes but does not
+// close w.
+func NewWriter(w io.Writer) *Writer { return NewWriterFormat(w, FormatJSONL) }
+
+// NewWriterFormat wraps w with the chosen format. Close flushes but
+// does not close w.
+func NewWriterFormat(w io.Writer, f Format) *Writer {
+	switch f {
+	case FormatColumnar:
+		return &Writer{enc: newColWriter(w)}
+	default:
+		return &Writer{enc: &jsonlWriter{w: bufio.NewWriterSize(w, 1<<16)}}
+	}
 }
 
-// Create opens path for writing, truncating any existing file.
-func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
+// Create opens path for JSONL writing, truncating any existing file.
+func Create(path string) (*Writer, error) { return CreateFormat(path, FormatJSONL) }
+
+// CreateFormat opens path for writing in the chosen format,
+// truncating any existing file.
+func CreateFormat(path string, f Format) (*Writer, error) {
+	fl, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: create %s: %w", path, err)
 	}
-	wr := NewWriter(f)
-	wr.c = f
+	wr := NewWriterFormat(fl, f)
+	wr.c = fl
 	return wr, nil
 }
 
-// Write appends one item.
+// Write appends one item. The item is fully encoded (or copied into
+// the pending chunk) before Write returns; the caller may reuse it.
 func (w *Writer) Write(item *ecom.Item) error {
 	if w.err != nil {
 		return w.err
 	}
-	b, err := json.Marshal(item)
-	if err != nil {
-		w.err = fmt.Errorf("dataset: marshal item %s: %w", item.ID, err)
-		return w.err
-	}
-	if _, err := w.w.Write(b); err != nil {
-		w.err = err
-		return err
-	}
-	if err := w.w.WriteByte('\n'); err != nil {
+	if err := w.enc.write(item); err != nil {
 		w.err = err
 		return err
 	}
@@ -63,10 +93,10 @@ func (w *Writer) Write(item *ecom.Item) error {
 // Count returns the number of items written so far.
 func (w *Writer) Count() int { return w.n }
 
-// Close flushes buffered output and closes the underlying file when the
-// Writer owns one.
+// Close flushes buffered output and closes the underlying file when
+// the Writer owns one.
 func (w *Writer) Close() error {
-	if err := w.w.Flush(); err != nil && w.err == nil {
+	if err := w.enc.finish(); err != nil && w.err == nil {
 		w.err = err
 	}
 	if w.c != nil {
@@ -77,9 +107,32 @@ func (w *Writer) Close() error {
 	return w.err
 }
 
-// WriteAll writes a whole dataset to path.
+// jsonlWriter is the row-oriented encoder.
+type jsonlWriter struct {
+	w *bufio.Writer
+}
+
+func (j *jsonlWriter) write(item *ecom.Item) error {
+	b, err := json.Marshal(item)
+	if err != nil {
+		return fmt.Errorf("dataset: marshal item %s: %w", item.ID, err)
+	}
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	return j.w.WriteByte('\n')
+}
+
+func (j *jsonlWriter) finish() error { return j.w.Flush() }
+
+// WriteAll writes a whole dataset to path as JSONL.
 func WriteAll(path string, ds *ecom.Dataset) error {
-	w, err := Create(path)
+	return WriteAllFormat(path, ds, FormatJSONL)
+}
+
+// WriteAllFormat writes a whole dataset to path in the chosen format.
+func WriteAllFormat(path string, ds *ecom.Dataset, f Format) error {
+	w, err := CreateFormat(path, f)
 	if err != nil {
 		return err
 	}
@@ -92,18 +145,22 @@ func WriteAll(path string, ds *ecom.Dataset) error {
 	return w.Close()
 }
 
-// Reader streams items from JSONL.
+// itemDecoder is one input format behind Reader.
+type itemDecoder interface {
+	next() (*ecom.Item, error)
+}
+
+// Reader streams items from JSONL or the columnar container,
+// deciding which on the first read by sniffing the magic bytes.
 type Reader struct {
-	s    *bufio.Scanner
-	c    io.Closer
-	line int
+	br  *bufio.Reader
+	c   io.Closer
+	dec itemDecoder
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 1<<16), 1<<24) // comments can make long lines
-	return &Reader{s: s}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
 // Open opens path for reading.
@@ -117,8 +174,50 @@ func Open(path string) (*Reader, error) {
 	return rd, nil
 }
 
-// Next returns the next item, or io.EOF when exhausted.
+// Next returns the next item, or io.EOF when exhausted. Items decoded
+// from the columnar format carry strings that alias the current
+// chunk's arena; they stay valid for as long as the item is
+// referenced, at the cost of keeping that chunk's arena alive.
 func (r *Reader) Next() (*ecom.Item, error) {
+	if r.dec == nil {
+		// Sniff once. A short or empty stream cannot be columnar (the
+		// container header alone is longer), so it goes down the JSONL
+		// path, which reports empty input as a clean EOF.
+		prefix, _ := r.br.Peek(4)
+		if colfmt.Sniff(prefix) {
+			cr, err := newColReader(r.br)
+			if err != nil {
+				return nil, err
+			}
+			r.dec = cr
+		} else {
+			r.dec = newJSONLReader(r.br)
+		}
+	}
+	return r.dec.next()
+}
+
+// Close closes the underlying file when the Reader owns one.
+func (r *Reader) Close() error {
+	if r.c != nil {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// jsonlReader is the row-oriented decoder.
+type jsonlReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func newJSONLReader(r io.Reader) *jsonlReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<24) // comments can make long lines
+	return &jsonlReader{s: s}
+}
+
+func (r *jsonlReader) next() (*ecom.Item, error) {
 	for r.s.Scan() {
 		r.line++
 		b := r.s.Bytes()
@@ -135,14 +234,6 @@ func (r *Reader) Next() (*ecom.Item, error) {
 		return nil, err
 	}
 	return nil, io.EOF
-}
-
-// Close closes the underlying file when the Reader owns one.
-func (r *Reader) Close() error {
-	if r.c != nil {
-		return r.c.Close()
-	}
-	return nil
 }
 
 // ReadAll loads a whole dataset from path.

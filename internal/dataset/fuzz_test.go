@@ -7,9 +7,9 @@ import (
 	"testing"
 )
 
-// FuzzReader checks that arbitrary byte streams never panic the JSONL
-// reader: every line either decodes to an item or yields an error, and
-// iteration always terminates.
+// FuzzReader checks that arbitrary byte streams never panic the
+// sniffing reader (JSONL or columnar): every input either decodes to
+// items or yields an error, and iteration always terminates.
 func FuzzReader(f *testing.F) {
 	f.Add(`{"item_id":"a"}`)
 	f.Add("")
@@ -17,6 +17,11 @@ func FuzzReader(f *testing.F) {
 	f.Add(`{"item_id":"a","comments":[{"comment_id":"c"}]}` + "\n{bad")
 	f.Add(`null`)
 	f.Add(`[1,2,3]`)
+	f.Add("CATC")                          // columnar magic, truncated header
+	f.Add("CATC\x01\x02")                  // valid dataset header, no blocks
+	f.Add("CATC\x01\x01")                  // snapshot kind where a dataset is expected
+	f.Add("CATC\x63\x02\x05arena\x00\x00") // future format version
+	f.Add("CATC\x01\x02\x05arena\xff\xff") // hostile payload length
 	f.Fuzz(func(t *testing.T, s string) {
 		r := NewReader(strings.NewReader(s))
 		for i := 0; i < 10000; i++ {

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ecom"
+	"repro/internal/synth"
+)
+
+// CorpusResult is the corpus-scale streaming benchmark: synthesize a
+// comment corpus straight to a columnar dataset file (never
+// materialized in memory), stream it back through the fused detection
+// pipeline, and time snapshot loads in both codecs. It is the capstone
+// measurement for the columnar format — the numbers that justify its
+// existence.
+type CorpusResult struct {
+	Items    int `json:"items"`
+	Comments int `json:"comments"`
+	Fraud    int `json:"fraud"`
+
+	// Generation: synth.Stream into a columnar dataset file.
+	GenElapsed     time.Duration `json:"gen_elapsed_ns"`
+	GenCommentsSec float64       `json:"gen_comments_per_sec"`
+	DatasetBytes   int64         `json:"dataset_bytes"`
+
+	// Detection: DetectStream over the file, block by block.
+	DetectElapsed     time.Duration `json:"detect_elapsed_ns"`
+	DetectItemsSec    float64       `json:"detect_items_per_sec"`
+	DetectCommentsSec float64       `json:"detect_comments_per_sec"`
+	Flagged           int           `json:"flagged"`
+
+	// Snapshot codecs: same trained model saved both ways, loads timed
+	// end to end (read + decode + detector materialization), best of 3.
+	SnapshotJSONBytes int64         `json:"snapshot_json_bytes"`
+	SnapshotColBytes  int64         `json:"snapshot_columnar_bytes"`
+	LoadJSON          time.Duration `json:"load_json_ns"`
+	LoadColumnar      time.Duration `json:"load_columnar_ns"`
+	// LoadRatio is JSON load time over columnar load time — the
+	// headline "columnar loads Nx faster" number.
+	LoadRatio float64 `json:"load_ratio"`
+
+	// PeakRSS is the process's high-water resident set (VmHWM) after
+	// the run, 0 where /proc is unavailable. The streaming claim is
+	// that it stays bounded far below DatasetBytes as the corpus grows.
+	PeakRSS int64 `json:"peak_rss_bytes"`
+}
+
+// Corpus runs the corpus-scale streaming benchmark. Comment volume is
+// set by Config.StreamComments; the corpus lives in a temporary
+// directory for the duration of the run.
+func (l *Lab) Corpus() (*CorpusResult, error) {
+	det, err := l.System()
+	if err != nil {
+		return nil, err
+	}
+	a, err := l.Analyzer()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "cats-corpus-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := &CorpusResult{}
+
+	// Phase 1: stream-generate the corpus into a columnar dataset file.
+	// ~10.6 comments/item with the default style mix; 2% fraud keeps
+	// the detector's positive path exercised without dominating cost.
+	items := l.cfg.StreamComments / 10
+	if items < 10 {
+		items = 10
+	}
+	fraud := items / 50
+	ccfg := synth.Config{
+		Name: "corpus", Platform: "taobao", Seed: 4200 + l.cfg.Seed,
+		FraudEvidence: fraud, Normal: items - fraud,
+		Shops: 1 + items/200,
+		// Bounded pools: corpus size must not drag the user pool (and
+		// with it peak RSS) up with it.
+		OrganicUsers: 50000, RiskyUsers: 1000,
+	}
+	dsPath := filepath.Join(dir, "corpus.catc")
+	w, err := dataset.CreateFormat(dsPath, dataset.FormatColumnar)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	stats, err := synth.Stream(ccfg, w.Write)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	res.GenElapsed = time.Since(start)
+	res.Items, res.Comments, res.Fraud = stats.Items, stats.Comments, stats.Fraud
+	if s := res.GenElapsed.Seconds(); s > 0 {
+		res.GenCommentsSec = float64(stats.Comments) / s
+	}
+	if fi, err := os.Stat(dsPath); err == nil {
+		res.DatasetBytes = fi.Size()
+	}
+
+	// Phase 2: stream the file back through detection. Items decode
+	// chunk by chunk, comment strings aliasing each chunk's arena, so
+	// memory is one chunk plus the scoring batch regardless of corpus
+	// size.
+	rd, err := dataset.Open(dsPath)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	sum, err := det.DetectStream(context.Background(), rd,
+		core.StreamOptions{Workers: l.cfg.Workers},
+		func(_ *ecom.Item, d core.Detection) error { return nil })
+	rd.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.DetectElapsed = time.Since(start)
+	res.Flagged = sum.Reported
+	if s := res.DetectElapsed.Seconds(); s > 0 {
+		res.DetectItemsSec = float64(stats.Items) / s
+		res.DetectCommentsSec = float64(stats.Comments) / s
+	}
+
+	// Phase 3: snapshot load shoot-out, same model in both codecs.
+	snap, err := det.Snapshot(l.Bank().Vocabulary(), a)
+	if err != nil {
+		return nil, err
+	}
+	jsonPath := filepath.Join(dir, "model.json")
+	colPath := filepath.Join(dir, "model.catc")
+	if err := writeSnapshotFile(jsonPath, snap, core.FormatJSON); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshotFile(colPath, snap, core.FormatColumnar); err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(jsonPath); err == nil {
+		res.SnapshotJSONBytes = fi.Size()
+	}
+	if fi, err := os.Stat(colPath); err == nil {
+		res.SnapshotColBytes = fi.Size()
+	}
+	if res.LoadJSON, err = timeSnapshotLoad(jsonPath); err != nil {
+		return nil, err
+	}
+	if res.LoadColumnar, err = timeSnapshotLoad(colPath); err != nil {
+		return nil, err
+	}
+	if res.LoadColumnar > 0 {
+		res.LoadRatio = float64(res.LoadJSON) / float64(res.LoadColumnar)
+	}
+
+	res.PeakRSS = peakRSSBytes()
+	return res, nil
+}
+
+func writeSnapshotFile(path string, snap *core.DetectorSnapshot, f core.SnapshotFormat) error {
+	fl, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteSnapshotFormat(fl, snap, f); err != nil {
+		fl.Close()
+		return err
+	}
+	return fl.Close()
+}
+
+// timeSnapshotLoad times a full load — open, sniff, decode, and
+// materialize the detector — taking the best of 3 runs.
+func timeSnapshotLoad(path string) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		snap, err := core.ReadSnapshot(f)
+		if err == nil {
+			_, _, err = core.DetectorFromSnapshot(snap)
+		}
+		elapsed := time.Since(start)
+		f.Close()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+// peakRSSBytes reads the process's resident-set high-water mark from
+// /proc (linux). Returns 0 elsewhere; callers treat 0 as "unmeasured".
+func peakRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			f := strings.Fields(rest)
+			if len(f) >= 1 {
+				if kb, err := strconv.ParseInt(f[0], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// String prints the corpus benchmark report.
+func (r *CorpusResult) String() string {
+	var b strings.Builder
+	b.WriteString("Corpus-scale streaming — columnar datasets and snapshots\n")
+	fmt.Fprintf(&b, "  generate  %d items (%d comments, %d fraud) -> %s columnar file in %s (%.0f comments/s)\n",
+		r.Items, r.Comments, r.Fraud, fmtBytes(r.DatasetBytes),
+		r.GenElapsed.Round(time.Millisecond), r.GenCommentsSec)
+	fmt.Fprintf(&b, "  detect    streamed back in %s = %.0f items/s (%.0f comments/s); %d flagged\n",
+		r.DetectElapsed.Round(time.Millisecond), r.DetectItemsSec, r.DetectCommentsSec, r.Flagged)
+	fmt.Fprintf(&b, "  snapshot  json %s loads in %s; columnar %s loads in %s — %.1fx faster\n",
+		fmtBytes(r.SnapshotJSONBytes), r.LoadJSON.Round(time.Microsecond),
+		fmtBytes(r.SnapshotColBytes), r.LoadColumnar.Round(time.Microsecond), r.LoadRatio)
+	if r.PeakRSS > 0 {
+		fmt.Fprintf(&b, "  memory    peak RSS %s (corpus file %s: streaming holds %0.1f%% of it)\n",
+			fmtBytes(r.PeakRSS), fmtBytes(r.DatasetBytes),
+			100*float64(r.PeakRSS)/max64(float64(r.DatasetBytes), 1))
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -51,6 +51,11 @@ type Config struct {
 	// PolarComments is the sentiment training corpus size;
 	// <= 0 means 4,000.
 	PolarComments int
+	// StreamComments is the comment volume of the corpus-scale
+	// streaming benchmark (the paper's platforms run to 72M–100M);
+	// <= 0 means 200,000. The corpus is streamed, never materialized,
+	// so this can be raised to the paper's scale on ordinary hardware.
+	StreamComments int
 	// Workers bounds extraction parallelism; <= 0 means GOMAXPROCS.
 	Workers int
 	// Seed offsets every dataset seed, so labs with different seeds
@@ -76,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PolarComments <= 0 {
 		c.PolarComments = 4000
+	}
+	if c.StreamComments <= 0 {
+		c.StreamComments = 200000
 	}
 	return c
 }

@@ -340,7 +340,14 @@ func (r *Registry) LoadFile(ctx context.Context, tenant, path string) (Info, err
 		return Info{}, fmt.Errorf("registry: load %s: %w", tenant, err)
 	}
 	hash := fnv.New32a()
-	snap, err := core.ReadSnapshot(io.TeeReader(f, hash))
+	tee := io.TeeReader(f, hash)
+	snap, err := core.ReadSnapshot(tee)
+	if err == nil {
+		// ReadSnapshot buffers and may stop short of EOF (a columnar
+		// container ends at its last block); drain the tee so the
+		// version hash always covers the whole file.
+		_, err = io.Copy(io.Discard, tee)
+	}
 	f.Close()
 	if err != nil {
 		t.m.reloadError.Inc()

@@ -1,0 +1,78 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/ecom"
+	"repro/internal/textgen"
+)
+
+// StreamStats summarizes a streamed corpus.
+type StreamStats struct {
+	Items    int
+	Fraud    int
+	Normal   int
+	Comments int
+}
+
+// Stream generates the universe's items one at a time, invoking emit
+// for each and never materializing the corpus: peak memory is the user
+// pool plus a single item, independent of how many items (or comments)
+// the config asks for. That is what makes corpus-scale runs — the
+// paper's 72M-comment D1, the 100M-comment E-platform crawl — writable
+// straight to a columnar dataset file on ordinary hardware.
+//
+// Stream is deterministic: the same Config always yields the same item
+// sequence. It draws from the same user/ring/shop pools as Generate
+// (identical RNG prefix), but interleaves the label classes as it goes
+// — drawing each item's class from the remaining class counts —
+// instead of Generate's generate-then-shuffle, so the two emit the
+// same population in a different order. Items are emitted already
+// shuffled; label order carries no information.
+//
+// The item passed to emit is reused storage only in the sense that its
+// strings are freshly allocated per item; emit may retain it. A
+// non-nil error from emit aborts the stream and is returned as is,
+// alongside stats for the items emitted so far.
+func Stream(cfg Config, emit func(*ecom.Item) error) (StreamStats, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bank := textgen.NewBank()
+	gen := textgen.NewGenerator(bank, rng)
+	if cfg.VocabShift > 0 {
+		gen.SetExtraNeutral(textgen.PlatformNeutralPool(cfg.Seed, 300), cfg.VocabShift)
+	}
+	p := buildPools(cfg, rng, gen)
+
+	remaining := [3]int{cfg.FraudEvidence, cfg.FraudManual, cfg.Normal}
+	classes := [3]ecom.Label{ecom.FraudEvidence, ecom.FraudManual, ecom.Normal}
+	left := remaining[0] + remaining[1] + remaining[2]
+
+	var stats StreamStats
+	for seq := 0; left > 0; seq++ {
+		// Draw the class proportional to what remains: a uniform random
+		// interleaving, equivalent in distribution to shuffling the full
+		// corpus, without ever holding it.
+		r := rng.Intn(left)
+		k := 0
+		for r >= remaining[k] {
+			r -= remaining[k]
+			k++
+		}
+		remaining[k]--
+		left--
+
+		item := makeItem(cfg, seq, classes[k], gen, rng, p)
+		stats.Items++
+		stats.Comments += len(item.Comments)
+		if item.Label.IsFraud() {
+			stats.Fraud++
+		} else {
+			stats.Normal++
+		}
+		if err := emit(&item); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ecom"
+)
+
+func streamAll(t *testing.T, cfg Config) ([]ecom.Item, StreamStats) {
+	t.Helper()
+	var items []ecom.Item
+	stats, err := Stream(cfg, func(it *ecom.Item) error {
+		items = append(items, *it)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items, stats
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	cfg := Config{Name: "s", Seed: 11, FraudEvidence: 20, FraudManual: 5, Normal: 40, Shops: 3}
+	a, astats := streamAll(t, cfg)
+	b, bstats := streamAll(t, cfg)
+	if astats != bstats {
+		t.Fatalf("stats differ: %+v vs %+v", astats, bstats)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Label != b[i].Label || len(a[i].Comments) != len(b[i].Comments) {
+			t.Fatalf("item %d differs between runs", i)
+		}
+		for j := range a[i].Comments {
+			if a[i].Comments[j] != b[i].Comments[j] {
+				t.Fatalf("comment %d of item %d differs between runs", j, i)
+			}
+		}
+	}
+}
+
+func TestStreamCountsAndStats(t *testing.T) {
+	cfg := Config{Name: "s", Seed: 12, FraudEvidence: 15, FraudManual: 5, Normal: 30, Shops: 3}
+	items, stats := streamAll(t, cfg)
+	if stats.Items != 50 || len(items) != 50 {
+		t.Fatalf("items = %d (stats %d), want 50", len(items), stats.Items)
+	}
+	var fe, fm, n, comments int
+	for i := range items {
+		switch items[i].Label {
+		case ecom.FraudEvidence:
+			fe++
+		case ecom.FraudManual:
+			fm++
+		case ecom.Normal:
+			n++
+		}
+		comments += len(items[i].Comments)
+	}
+	if fe != 15 || fm != 5 || n != 30 {
+		t.Fatalf("class counts = %d/%d/%d, want 15/5/30", fe, fm, n)
+	}
+	if stats.Fraud != 20 || stats.Normal != 30 {
+		t.Fatalf("stats fraud/normal = %d/%d", stats.Fraud, stats.Normal)
+	}
+	if stats.Comments != comments || comments == 0 {
+		t.Fatalf("stats comments = %d, counted %d", stats.Comments, comments)
+	}
+}
+
+// TestStreamInterleavesClasses: the emitted order must not be
+// "all fraud then all normal" — label order carries no information.
+func TestStreamInterleavesClasses(t *testing.T) {
+	cfg := Config{Name: "s", Seed: 13, FraudEvidence: 50, Normal: 50, Shops: 3}
+	items, _ := streamAll(t, cfg)
+	firstNormal, lastFraud := -1, -1
+	for i := range items {
+		if items[i].Label.IsFraud() {
+			lastFraud = i
+		} else if firstNormal == -1 {
+			firstNormal = i
+		}
+	}
+	if firstNormal == -1 || lastFraud == -1 || lastFraud < firstNormal {
+		t.Fatalf("classes not interleaved: first normal %d, last fraud %d", firstNormal, lastFraud)
+	}
+}
+
+// TestStreamSharesPopulationWithGenerate: Stream and Generate draw from
+// identical user/shop pools (same RNG prefix), differing only in item
+// order.
+func TestStreamSharesPopulationWithGenerate(t *testing.T) {
+	cfg := Config{Name: "s", Seed: 14, FraudEvidence: 10, Normal: 20, Shops: 2}
+	u := Generate(cfg)
+	items, _ := streamAll(t, cfg)
+
+	shops := map[string]bool{}
+	for i := range u.Dataset.Items {
+		shops[u.Dataset.Items[i].ShopID] = true
+	}
+	users := map[string]bool{}
+	for _, usr := range u.Users {
+		users[usr.ID] = true
+	}
+	for i := range items {
+		if !shops[items[i].ShopID] {
+			t.Fatalf("streamed item %d references shop %q unknown to Generate", i, items[i].ShopID)
+		}
+		for j := range items[i].Comments {
+			if !users[items[i].Comments[j].UserID] {
+				t.Fatalf("streamed comment references user %q unknown to Generate", items[i].Comments[j].UserID)
+			}
+		}
+	}
+}
+
+func TestStreamEmitError(t *testing.T) {
+	cfg := Config{Name: "s", Seed: 15, FraudEvidence: 5, Normal: 5, Shops: 2}
+	boom := errors.New("boom")
+	n := 0
+	stats, err := Stream(cfg, func(*ecom.Item) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if stats.Items != 3 {
+		t.Fatalf("stats.Items = %d at abort, want 3", stats.Items)
+	}
+}

@@ -235,6 +235,81 @@ type Universe struct {
 	Bank         *textgen.Bank
 }
 
+// pools is the shared population a universe's items draw from: the
+// user accounts, collusion rings, and shops. Building it consumes a
+// deterministic prefix of the RNG stream, so Generate and Stream start
+// item generation from identical state.
+type pools struct {
+	users    []ecom.User
+	riskyIDs map[string]bool
+	organic  []ecom.User
+	risky    []ecom.User
+	rings    [][]int
+	shops    []ecom.Shop
+}
+
+// buildPools draws the user, ring, and shop populations. The RNG call
+// order here is pinned by golden fixtures — do not reorder.
+func buildPools(cfg Config, rng *rand.Rand, gen *textgen.Generator) *pools {
+	p := &pools{riskyIDs: map[string]bool{}}
+
+	// User pool: organic users' expValue is log-normal above the floor
+	// (few low-value accounts); risky users cluster at the bottom with
+	// a 15% mass exactly at the floor of 100.
+	p.users = make([]ecom.User, 0, cfg.OrganicUsers+cfg.RiskyUsers)
+	for i := 0; i < cfg.OrganicUsers; i++ {
+		p.users = append(p.users, ecom.User{
+			ID:       fmt.Sprintf("%s-u%07d", cfg.Platform, i),
+			Nickname: gen.Nickname(),
+			ExpValue: organicExpValue(rng),
+		})
+	}
+	for i := 0; i < cfg.RiskyUsers; i++ {
+		id := fmt.Sprintf("%s-r%07d", cfg.Platform, i)
+		p.users = append(p.users, ecom.User{
+			ID:       id,
+			Nickname: gen.Nickname(),
+			ExpValue: riskyExpValue(rng),
+		})
+		p.riskyIDs[id] = true
+	}
+	p.organic = p.users[:cfg.OrganicUsers]
+	p.risky = p.users[cfg.OrganicUsers:]
+
+	// Collusion rings: partition risky users into small rings; each
+	// fraud item is promoted by one ring, so ring members co-purchase
+	// many of the same items (the paper's 83,745 pairs / 1,056 users).
+	p.rings = buildRings(len(p.risky), rng)
+
+	p.shops = make([]ecom.Shop, cfg.Shops)
+	for i := range p.shops {
+		p.shops[i] = ecom.Shop{
+			ID:   fmt.Sprintf("%s-s%05d", cfg.Platform, i),
+			Name: gen.ShopName(),
+			URL:  fmt.Sprintf("https://%s.example.com/shop/%d", cfg.Platform, i),
+		}
+	}
+	return p
+}
+
+// makeItem draws one labeled item with its comments.
+func makeItem(cfg Config, seq int, label ecom.Label, gen *textgen.Generator, rng *rand.Rand, p *pools) ecom.Item {
+	item := ecom.Item{
+		ID:         fmt.Sprintf("%s-i%09d", cfg.Platform, seq),
+		ShopID:     p.shops[rng.Intn(len(p.shops))].ID,
+		Name:       gen.ItemName(),
+		Category:   ecom.Categories[rng.Intn(len(ecom.Categories))],
+		PriceCents: 500 + int64(rng.Intn(200000)),
+		Label:      label,
+	}
+	if label.IsFraud() {
+		fillFraudItem(cfg, &item, gen, rng, p.organic, p.risky, p.rings)
+	} else {
+		fillNormalItem(cfg, &item, gen, rng, p.organic)
+	}
+	return item
+}
+
 // Generate builds a universe. The same Config always yields the same
 // universe.
 func Generate(cfg Config) *Universe {
@@ -246,65 +321,19 @@ func Generate(cfg Config) *Universe {
 		gen.SetExtraNeutral(textgen.PlatformNeutralPool(cfg.Seed, 300), cfg.VocabShift)
 	}
 
-	u := &Universe{Config: cfg, Bank: bank, RiskyUserIDs: map[string]bool{}}
+	u := &Universe{Config: cfg, Bank: bank}
 	u.Dataset.Name = cfg.Name
 
-	// User pool: organic users' expValue is log-normal above the floor
-	// (few low-value accounts); risky users cluster at the bottom with
-	// a 15% mass exactly at the floor of 100.
-	u.Users = make([]ecom.User, 0, cfg.OrganicUsers+cfg.RiskyUsers)
-	for i := 0; i < cfg.OrganicUsers; i++ {
-		u.Users = append(u.Users, ecom.User{
-			ID:       fmt.Sprintf("%s-u%07d", cfg.Platform, i),
-			Nickname: gen.Nickname(),
-			ExpValue: organicExpValue(rng),
-		})
-	}
-	for i := 0; i < cfg.RiskyUsers; i++ {
-		id := fmt.Sprintf("%s-r%07d", cfg.Platform, i)
-		u.Users = append(u.Users, ecom.User{
-			ID:       id,
-			Nickname: gen.Nickname(),
-			ExpValue: riskyExpValue(rng),
-		})
-		u.RiskyUserIDs[id] = true
-	}
-	organic := u.Users[:cfg.OrganicUsers]
-	risky := u.Users[cfg.OrganicUsers:]
-
-	// Collusion rings: partition risky users into small rings; each
-	// fraud item is promoted by one ring, so ring members co-purchase
-	// many of the same items (the paper's 83,745 pairs / 1,056 users).
-	rings := buildRings(len(risky), rng)
-
-	shops := make([]ecom.Shop, cfg.Shops)
-	for i := range shops {
-		shops[i] = ecom.Shop{
-			ID:   fmt.Sprintf("%s-s%05d", cfg.Platform, i),
-			Name: gen.ShopName(),
-			URL:  fmt.Sprintf("https://%s.example.com/shop/%d", cfg.Platform, i),
-		}
-	}
+	p := buildPools(cfg, rng, gen)
+	u.Users = p.users
+	u.RiskyUserIDs = p.riskyIDs
 
 	total := cfg.FraudEvidence + cfg.FraudManual + cfg.Normal
 	u.Dataset.Items = make([]ecom.Item, 0, total)
 	itemSeq := 0
 	addItem := func(label ecom.Label) {
-		item := ecom.Item{
-			ID:         fmt.Sprintf("%s-i%09d", cfg.Platform, itemSeq),
-			ShopID:     shops[rng.Intn(len(shops))].ID,
-			Name:       gen.ItemName(),
-			Category:   ecom.Categories[rng.Intn(len(ecom.Categories))],
-			PriceCents: 500 + int64(rng.Intn(200000)),
-			Label:      label,
-		}
+		u.Dataset.Items = append(u.Dataset.Items, makeItem(cfg, itemSeq, label, gen, rng, p))
 		itemSeq++
-		if label.IsFraud() {
-			u.fillFraudItem(&item, gen, rng, organic, risky, rings)
-		} else {
-			u.fillNormalItem(&item, gen, rng, organic)
-		}
-		u.Dataset.Items = append(u.Dataset.Items, item)
 	}
 	for i := 0; i < cfg.FraudEvidence; i++ {
 		addItem(ecom.FraudEvidence)
@@ -337,8 +366,7 @@ func buildRings(n int, rng *rand.Rand) [][]int {
 	return rings
 }
 
-func (u *Universe) fillFraudItem(item *ecom.Item, gen *textgen.Generator, rng *rand.Rand, organic, risky []ecom.User, rings [][]int) {
-	cfg := u.Config
+func fillFraudItem(cfg Config, item *ecom.Item, gen *textgen.Generator, rng *rand.Rand, organic, risky []ecom.User, rings [][]int) {
 	n := between(rng, cfg.FraudCommentsMin, cfg.FraudCommentsMax)
 	item.SalesVolume = n + rng.Intn(3*n+1)
 	campaign := textgen.FraudStyle()
@@ -392,8 +420,7 @@ func (u *Universe) fillFraudItem(item *ecom.Item, gen *textgen.Generator, rng *r
 	}
 }
 
-func (u *Universe) fillNormalItem(item *ecom.Item, gen *textgen.Generator, rng *rand.Rand, organic []ecom.User) {
-	cfg := u.Config
+func fillNormalItem(cfg Config, item *ecom.Item, gen *textgen.Generator, rng *rand.Rand, organic []ecom.User) {
 	n := between(rng, cfg.NormalCommentsMin, cfg.NormalCommentsMax)
 	if rng.Float64() < cfg.LowVolumeShare {
 		item.SalesVolume = rng.Intn(5) // below the rule-filter cutoff

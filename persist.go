@@ -1,6 +1,7 @@
 package cats
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -9,25 +10,50 @@ import (
 	"repro/internal/core"
 )
 
+// SnapshotFormat selects a snapshot encoding: FormatJSON is the
+// import/export codec, FormatColumnar the fast binary native one.
+// Load and LoadFile sniff the format from the file's magic bytes, so
+// either loads transparently.
+type SnapshotFormat = core.SnapshotFormat
+
+// Snapshot formats accepted by SaveFormat and SaveFileFormat.
+const (
+	FormatJSON     = core.FormatJSON
+	FormatColumnar = core.FormatColumnar
+)
+
 // Save serializes the trained system (semantic analyzer, rule-filter
 // settings, and the fitted boosted-tree classifier) as JSON. Only
 // systems using the default XGBoost-style classifier can be saved.
 // vocabulary must be the segmenter dictionary used at Train time.
 func (s *System) Save(w io.Writer, vocabulary []string) error {
+	return s.SaveFormat(w, vocabulary, FormatJSON)
+}
+
+// SaveFormat is Save with an explicit snapshot format.
+func (s *System) SaveFormat(w io.Writer, vocabulary []string, f SnapshotFormat) error {
 	snap, err := s.detector.Snapshot(vocabulary, s.analyzer)
 	if err != nil {
 		return fmt.Errorf("cats: save: %w", err)
 	}
-	return core.WriteSnapshot(w, snap)
+	if err := core.WriteSnapshotFormat(w, snap, f); err != nil {
+		return fmt.Errorf("cats: save: %w", err)
+	}
+	return nil
 }
 
-// SaveFile saves the system to path (see Save). The write is atomic:
-// the snapshot lands in a temporary file in path's directory, is
-// fsynced, and only then renamed over path — so a crash mid-save can
-// never leave a truncated model where a serving reload (or the next
-// boot) would pick it up. On any failure the temporary file is removed
-// and path is untouched.
+// SaveFile saves the system to path as JSON (see SaveFileFormat).
 func (s *System) SaveFile(path string, vocabulary []string) error {
+	return s.SaveFileFormat(path, vocabulary, FormatJSON)
+}
+
+// SaveFileFormat saves the system to path in the chosen format. The
+// write is atomic: the snapshot lands in a temporary file in path's
+// directory, is fsynced, and only then renamed over path — so a crash
+// mid-save can never leave a truncated model where a serving reload (or
+// the next boot) would pick it up. On any failure the temporary file is
+// removed and path is untouched.
+func (s *System) SaveFileFormat(path string, vocabulary []string, format SnapshotFormat) error {
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("cats: save: %w", err)
@@ -38,8 +64,12 @@ func (s *System) SaveFile(path string, vocabulary []string) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := s.Save(f, vocabulary); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := s.SaveFormat(bw, vocabulary, format); err != nil {
 		return cleanup(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return cleanup(fmt.Errorf("cats: save: flush %s: %w", tmp, err))
 	}
 	// Flush to stable storage before the rename publishes the file:
 	// rename-over is only crash-safe when the new bytes are durable.
@@ -57,8 +87,10 @@ func (s *System) SaveFile(path string, vocabulary []string) error {
 	return nil
 }
 
-// Load reconstructs a trained system saved with Save. The restored
-// system detects immediately; no retraining is needed.
+// Load reconstructs a trained system saved with Save or SaveFormat:
+// the snapshot format (JSON or columnar) is sniffed from the leading
+// magic bytes and reads are buffered internally. The restored system
+// detects immediately; no retraining is needed.
 func Load(r io.Reader) (*System, error) {
 	snap, err := core.ReadSnapshot(r)
 	if err != nil {

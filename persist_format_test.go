@@ -1,0 +1,102 @@
+package cats
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/textgen"
+)
+
+// TestSaveFileFormatColumnar: the columnar file path round-trips
+// through the sniffing LoadFile with identical detections.
+func TestSaveFileFormatColumnar(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+	path := filepath.Join(t.TempDir(), "model.catc")
+	if err := sys.SaveFileFormat(path, bank.Vocabulary(), FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := synth.Generate(synth.Config{
+		Name: "colfile", Seed: 83, FraudEvidence: 10, Normal: 30, Shops: 3,
+	})
+	before, err := sys.Detect(test.Dataset.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := restored.Detect(test.Dataset.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("detection %d differs after columnar save/load: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestColumnarResaveByteStable: the columnar codec is byte-stable
+// across save→load→save, same contract the JSON codec pins.
+func TestColumnarResaveByteStable(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+
+	var first bytes.Buffer
+	if err := sys.SaveFormat(&first, bank.Vocabulary(), FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := restored.SaveFormat(&second, bank.Vocabulary(), FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("columnar snapshot not byte-stable across save→load→save: %d vs %d bytes",
+			first.Len(), second.Len())
+	}
+}
+
+// TestGoldenFormatEquivalence: a system restored from a columnar
+// snapshot reproduces the checked-in golden fixtures bit for bit, same
+// as the JSON path — the codec cannot perturb a single float of the
+// detection pipeline.
+func TestGoldenFormatEquivalence(t *testing.T) {
+	sys := trainSystem(t)
+	bank := textgen.NewBank()
+
+	var jb, cb bytes.Buffer
+	if err := sys.SaveFormat(&jb, bank.Vocabulary(), FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveFormat(&cb, bank.Vocabulary(), FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Load(bytes.NewReader(jb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCol, err := Load(bytes.NewReader(cb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mix := range goldenMixes {
+		t.Run(mix.name, func(t *testing.T) {
+			want := goldenFixture(t, sys, mix.gen())
+			if got := goldenFixture(t, fromJSON, mix.gen()); !bytes.Equal(want, got) {
+				t.Fatalf("JSON-restored system diverges from the live one\n%s", fixtureDiff(want, got))
+			}
+			if got := goldenFixture(t, fromCol, mix.gen()); !bytes.Equal(want, got) {
+				t.Fatalf("columnar-restored system diverges from the live one\n%s", fixtureDiff(want, got))
+			}
+		})
+	}
+}

@@ -6,7 +6,9 @@
 # tenant via the authenticated /admin/reload mid-traffic (asserting
 # zero non-2xx responses across the swap and that
 # cats_registry_reloads_total moved), picks up a third tenant via
-# SIGHUP re-scan, probes /healthz, /readyz and /metrics (asserting the
+# SIGHUP re-scan (booted from a columnar .catc snapshot to exercise the
+# registry's format sniffing), probes /healthz, /readyz and /metrics
+# (asserting the
 # tenant-labeled pipeline counters moved), then sends SIGTERM and
 # requires a clean exit. CI runs this via `make serve-smoke`; it needs
 # only the go toolchain and curl.
@@ -32,6 +34,13 @@ echo "== serve-smoke: train a tiny model"
 go run ./cmd/catsgen -dataset d0 -scale 0.004 -out "${WORK}/train.jsonl"
 go run ./cmd/cats -train "${WORK}/train.jsonl" -corpus 2000 \
   -save-model "${WORK}/model.json" \
+  -detect "${WORK}/train.jsonl" -out /dev/null
+
+echo "== serve-smoke: re-save it as a columnar snapshot"
+# The registry sniffs the on-disk format per file, so the SIGHUP tenant
+# below boots from this .catc to prove the columnar load path end to end.
+go run ./cmd/cats -load-model "${WORK}/model.json" \
+  -save-model "${WORK}/mobile.catc" -model-format columnar \
   -detect "${WORK}/train.jsonl" -out /dev/null
 
 mkdir -p "${WORK}/models"
@@ -131,8 +140,8 @@ fi
 curl -fsS -X POST -H 'Content-Type: application/json' \
   -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/t/eplatform/v1/detect" >/dev/null
 
-echo "== serve-smoke: SIGHUP re-scan picks up a new tenant"
-cp "${WORK}/model.json" "${WORK}/models/mobile.json"
+echo "== serve-smoke: SIGHUP re-scan picks up a new tenant (columnar snapshot)"
+cp "${WORK}/mobile.catc" "${WORK}/models/mobile.catc"
 kill -HUP "${SERVER_PID}"
 for i in $(seq 1 50); do
   if curl -fsS -H "Authorization: Bearer ${TOKEN}" "${BASE}/admin/tenants" | grep -qF '"tenant":"mobile"'; then
