@@ -3,18 +3,26 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race check bench bench-smoke fuzz-smoke serve-smoke experiments cover clean
+.PHONY: all build vet lint lint-fixtures test test-race check bench bench-smoke fuzz-smoke serve-smoke experiments cover clean
 
 all: build vet test
 
 # Run catslint, the project's invariant linter: zero-alloc hot path
 # (//cats:hotpath), sync.Pool Get/Put pairing, map-iteration
-# determinism, ctx propagation, wall-clock/rand hygiene.
+# determinism, ctx propagation, wall-clock/rand hygiene, registry
+# handle lifecycles, colfmt arena aliasing, obs label discipline, and
+# sticky decode errors.
 lint:
 	$(GO) run ./cmd/catslint
 
+# Pin the analyzers themselves: run catslint over its fixture corpus
+# and diff the findings against the expected file:line set, so an
+# analyzer that goes blind (or starts overreporting) fails the build.
+lint-fixtures:
+	bash scripts/lint_fixtures.sh
+
 # The full pre-merge gate: compile, vet, invariant lint, and tests.
-check: build vet lint test
+check: build vet lint lint-fixtures test
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,6 @@
+// Package cleanmod is a catslint CLI fixture: a module with nothing to
+// report, pinning the exit-0 path.
+package cleanmod
+
+// Add is deliberately boring.
+func Add(a, b int) int { return a + b }

@@ -67,6 +67,8 @@ func (d *Dec) Failf(format string, args ...any) {
 func (d *Dec) remaining() int { return len(d.b) - d.off }
 
 // Uvarint reads an unsigned varint.
+//
+//cats:hotpath
 func (d *Dec) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
@@ -81,6 +83,8 @@ func (d *Dec) Uvarint() uint64 {
 }
 
 // Varint reads a zigzag-coded signed varint.
+//
+//cats:hotpath
 func (d *Dec) Varint() int64 {
 	if d.err != nil {
 		return 0
@@ -95,16 +99,20 @@ func (d *Dec) Varint() int64 {
 }
 
 // Int reads a varint that must fit a machine int.
+//
+//cats:hotpath
 func (d *Dec) Int() int {
 	v := d.Varint()
 	if int64(int(v)) != v {
-		d.fail(fmt.Sprintf("value %d overflows int", v))
+		d.Failf("value %d overflows int", v)
 		return 0
 	}
 	return int(v)
 }
 
 // U32 reads a fixed 4-byte little-endian value.
+//
+//cats:hotpath
 func (d *Dec) U32() uint32 {
 	if d.err != nil {
 		return 0
@@ -119,6 +127,8 @@ func (d *Dec) U32() uint32 {
 }
 
 // F64 reads 8 little-endian IEEE 754 bytes.
+//
+//cats:hotpath
 func (d *Dec) F64() float64 {
 	if d.err != nil {
 		return 0
@@ -133,6 +143,8 @@ func (d *Dec) F64() float64 {
 }
 
 // Byte reads one byte.
+//
+//cats:hotpath
 func (d *Dec) Byte() byte {
 	if d.err != nil {
 		return 0
@@ -147,6 +159,8 @@ func (d *Dec) Byte() byte {
 }
 
 // Bool reads a 0/1 byte.
+//
+//cats:hotpath
 func (d *Dec) Bool() bool {
 	switch d.Byte() {
 	case 0:
@@ -173,13 +187,15 @@ func (d *Dec) Str() string {
 // count reads a column count and verifies the payload can hold it at
 // minBytes per element, the guard that keeps corrupt counts from
 // driving allocations.
+//
+//cats:hotpath
 func (d *Dec) count(what string, minBytes int) int {
 	v := d.Uvarint()
 	if d.err != nil {
 		return 0
 	}
 	if v > uint64(d.remaining()/minBytes) {
-		d.fail(fmt.Sprintf("%s %d exceeds %d remaining payload bytes", what, v, d.remaining()))
+		d.Failf("%s %d exceeds %d remaining payload bytes", what, v, d.remaining())
 		return 0
 	}
 	return int(v)

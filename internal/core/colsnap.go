@@ -376,20 +376,30 @@ func decodeGBT(d *colfmt.Dec, arena string) *gbt.Snapshot {
 	off := 0
 	for ti, c := range counts {
 		tree := make([]gbt.NodeDTO, c)
-		for i := range tree {
-			tree[i] = gbt.NodeDTO{
-				Feature:   features[off],
-				Threshold: thresholds[off],
-				Leaf:      leaves[off] == 1,
-				Weight:    weights[off],
-				Left:      lefts[off],
-				Right:     rights[off],
-			}
-			off++
-		}
+		off = fillNodes(tree, off, features, thresholds, leaves, weights, lefts, rights)
 		s.Trees[ti] = tree
 	}
 	return s
+}
+
+// fillNodes transposes the flat node columns into one tree's node
+// structs, starting at column offset off and returning the offset past
+// the tree: one struct store per node, nothing allocated.
+//
+//cats:hotpath
+func fillNodes(tree []gbt.NodeDTO, off int, features []int, thresholds []float64, leaves []byte, weights []float64, lefts, rights []int) int {
+	for i := range tree {
+		tree[i] = gbt.NodeDTO{
+			Feature:   features[off],
+			Threshold: thresholds[off],
+			Leaf:      leaves[off] == 1,
+			Weight:    weights[off],
+			Left:      lefts[off],
+			Right:     rights[off],
+		}
+		off++
+	}
+	return off
 }
 
 func decodeMatrix(d *colfmt.Dec) [][]float64 {

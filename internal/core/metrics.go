@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/obs"
@@ -74,7 +75,20 @@ func pipelineMetricsFor(tenant string) *pipelineMetrics {
 	if m, ok := pipelineMetricsCache[tenant]; ok {
 		return m
 	}
-	m := &pipelineMetrics{
+	// The cache key and the label values live for the process; copy the
+	// caller's string so a decode-arena alias (a tenant name lifted from
+	// a columnar snapshot) is never pinned here.
+	key := strings.Clone(tenant)
+	m := resolvePipelineMetrics(key)
+	pipelineMetricsCache[key] = m
+	return m
+}
+
+// resolvePipelineMetrics takes the family locks once and resolves every
+// per-tenant series handle. tenant must be a process-owned string: the
+// families retain it as a label value.
+func resolvePipelineMetrics(tenant string) *pipelineMetrics {
+	return &pipelineMetrics{
 		itemsScored:         pipelineItems.With("scored", tenant),
 		itemsFilteredSales:  pipelineItems.With("filtered_sales", tenant),
 		itemsFilteredSignal: pipelineItems.With("filtered_signal", tenant),
@@ -84,6 +98,4 @@ func pipelineMetricsFor(tenant string) *pipelineMetrics {
 		stageScore:          pipelineStage.With("score", tenant),
 		commentsAnalyzed:    pipelineComments.With(tenant),
 	}
-	pipelineMetricsCache[tenant] = m
-	return m
 }

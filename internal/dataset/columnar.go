@@ -163,6 +163,11 @@ func newColReader(r io.Reader) (*colReader, error) {
 	return &colReader{r: cr}, nil
 }
 
+// next hands out the following item of the current chunk, loading the
+// next chunk when the slice runs dry. One pointer move per call: the
+// streaming corpus loop lives here.
+//
+//cats:hotpath
 func (c *colReader) next() (*ecom.Item, error) {
 	for c.idx >= len(c.items) {
 		if err := c.loadChunk(); err != nil {
@@ -229,12 +234,24 @@ func (c *colReader) decodeItems(d *colfmt.Dec, arena string) error {
 		len(prices) != n || len(sales) != n || len(labels) != n || len(ncomments) != n {
 		return fmt.Errorf("dataset: item block columns disagree with %d items", n)
 	}
-	c.items = make([]ecom.Item, n)
-	for i := range c.items {
-		if ncomments[i] < 0 {
-			return fmt.Errorf("dataset: item %d has negative comment count %d", i, ncomments[i])
+	for i, nc := range ncomments {
+		if nc < 0 {
+			return fmt.Errorf("dataset: item %d has negative comment count %d", i, nc)
 		}
-		c.items[i] = ecom.Item{
+	}
+	c.items = make([]ecom.Item, n)
+	fillItems(c.items, ids, shops, names, cats, prices, sales, labels)
+	c.ncomments = ncomments
+	return nil
+}
+
+// fillItems transposes the decoded columns into the chunk's item
+// structs: one struct store per row, nothing allocated.
+//
+//cats:hotpath
+func fillItems(items []ecom.Item, ids, shops, names, cats []string, prices, sales []int64, labels []byte) {
+	for i := range items {
+		items[i] = ecom.Item{
 			ID:          ids[i],
 			ShopID:      shops[i],
 			Name:        names[i],
@@ -244,8 +261,6 @@ func (c *colReader) decodeItems(d *colfmt.Dec, arena string) error {
 			Label:       ecom.Label(labels[i]),
 		}
 	}
-	c.ncomments = ncomments
-	return nil
 }
 
 func (c *colReader) decodeComments(d *colfmt.Dec, arena string) error {
@@ -276,17 +291,7 @@ func (c *colReader) decodeComments(d *colfmt.Dec, arena string) error {
 	}
 	// One backing slice for the chunk; items slice into it.
 	comments := make([]ecom.Comment, m)
-	for i := range comments {
-		comments[i] = ecom.Comment{
-			ID:      ids[i],
-			Content: contents[i],
-			UserID:  users[i],
-			Nick:    nicks[i],
-			ExpVal:  expvals[i],
-			Client:  ecom.Client(clients[i]),
-			Date:    time.Unix(0, dates[i]).UTC(),
-		}
-	}
+	fillComments(comments, ids, contents, users, nicks, expvals, dates, clients)
 	off := 0
 	for i := range c.items {
 		nc := c.ncomments[i]
@@ -299,4 +304,22 @@ func (c *colReader) decodeComments(d *colfmt.Dec, arena string) error {
 		off += nc
 	}
 	return nil
+}
+
+// fillComments transposes the decoded columns into the chunk's shared
+// comment slice: one struct store per row, nothing allocated.
+//
+//cats:hotpath
+func fillComments(comments []ecom.Comment, ids, contents, users, nicks []string, expvals, dates []int64, clients []byte) {
+	for i := range comments {
+		comments[i] = ecom.Comment{
+			ID:      ids[i],
+			Content: contents[i],
+			UserID:  users[i],
+			Nick:    nicks[i],
+			ExpVal:  expvals[i],
+			Client:  ecom.Client(clients[i]),
+			Date:    time.Unix(0, dates[i]).UTC(),
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/obs"
@@ -75,7 +76,19 @@ func serveMetricsFor(tenant string) *serveMetrics {
 	if m, ok := serveMetricsCache[tenant]; ok {
 		return m
 	}
-	m := &serveMetrics{
+	// The cache key and label values live for the process; copy the
+	// caller's string so a decode-arena alias is never pinned here.
+	key := strings.Clone(tenant)
+	m := resolveServeMetrics(key)
+	serveMetricsCache[key] = m
+	return m
+}
+
+// resolveServeMetrics takes the family locks once and resolves every
+// per-tenant series handle. tenant must be a process-owned string: the
+// families retain it as a label value.
+func resolveServeMetrics(tenant string) *serveMetrics {
+	return &serveMetrics{
 		queueDepth:    vQueueDepth.With(tenant),
 		batches:       vBatches.With(tenant),
 		batchSize:     vBatchSize.With(tenant),
@@ -86,6 +99,4 @@ func serveMetricsFor(tenant string) *serveMetrics {
 		bypass:        vBypass.With(tenant),
 		wait:          vWait.With(tenant),
 	}
-	serveMetricsCache[tenant] = m
-	return m
 }

@@ -65,6 +65,8 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	prog *Program // the cross-package function index and summary caches
 }
 
 // Analyzer is one named invariant check.
@@ -99,6 +101,14 @@ type Config struct {
 	// internal/features is exactly as nondeterministic as calling
 	// time.Now there, and no-wallclock-rand flags both.
 	WallclockBridges map[string][]string
+	// MetricLabelAllowlist names the identifiers that may appear in a
+	// non-constant Vec label value (metric-discipline). Labels index a
+	// metric family's in-memory series map, so every distinct value is
+	// a series kept for the life of the process: only bounded inputs —
+	// tenant names, route templates, status codes — belong there, and
+	// this list is the single auditable statement of which variable
+	// names the repository has vetted as bounded.
+	MetricLabelAllowlist []string
 }
 
 // DefaultConfig is the repository's rule scoping: the segmentation,
@@ -126,6 +136,12 @@ var DefaultConfig = Config{
 		// wall-clock entry point.
 		"internal/obs": {"StartSpan"},
 	},
+	MetricLabelAllowlist: []string{
+		// tenant names come from the operator's -models directory, route
+		// is the handler's own template string, and code is an HTTP
+		// status — all bounded by construction.
+		"tenant", "route", "code",
+	},
 }
 
 // appliesTo reports whether pkgPath matches any of the suffixes.
@@ -146,6 +162,10 @@ func Analyzers() []*Analyzer {
 		MapRangeDeterminism,
 		CtxPropagation,
 		NoWallclockRand,
+		HandleLease,
+		ArenaEscape,
+		MetricDiscipline,
+		StickyError,
 	}
 }
 
@@ -157,6 +177,7 @@ type Runner struct {
 	std    types.ImporterFrom
 	pkgs   map[string]*types.Package
 	loaded map[string]*Package // repo packages, keyed by import path
+	prog   *Program            // function index shared by every package
 
 	root    string // module root directory ("" until LintModule)
 	modpath string // module path from go.mod
@@ -170,6 +191,7 @@ func NewRunner() *Runner {
 		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:   map[string]*types.Package{},
 		loaded: map[string]*Package{},
+		prog:   newProgram(),
 	}
 }
 
@@ -247,7 +269,8 @@ func (r *Runner) load(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-check %s: %v", path, typeErrs[0])
 	}
 	r.pkgs[path] = pkg
-	p := &Package{Path: path, Dir: dir, Fset: r.fset, Files: files, Pkg: pkg, Info: info}
+	p := &Package{Path: path, Dir: dir, Fset: r.fset, Files: files, Pkg: pkg, Info: info, prog: r.prog}
+	r.prog.register(p)
 	r.loaded[path] = p
 	return p, nil
 }

@@ -19,18 +19,21 @@ type want struct {
 // fixtureCfg scopes the package-scoped rules onto the fixture packages
 // the way DefaultConfig scopes them onto the real tree.
 var fixtureCfg = Config{
-	DeterministicPkgs:   []string{"fix/wallclock", "fix/obsfix", "fix/obsbridge"},
-	PinnedOrderPkgs:     []string{"fix/maprange"},
-	WallclockExemptPkgs: []string{"fix/obsfix"},
-	WallclockBridges:    map[string][]string{"fix/obsfix": {"StartSpan"}},
+	DeterministicPkgs:    []string{"fix/wallclock", "fix/obsfix", "fix/obsbridge"},
+	PinnedOrderPkgs:      []string{"fix/maprange"},
+	WallclockExemptPkgs:  []string{"fix/obsfix"},
+	WallclockBridges:     map[string][]string{"fix/obsfix": {"StartSpan"}},
+	MetricLabelAllowlist: []string{"tenant", "route"},
 }
 
 func TestFixtureCorpus(t *testing.T) {
 	r := NewRunner()
-	// Pre-load the obs stand-in so fixtures importing fix/obsfix
-	// type-check regardless of subtest filtering order.
-	if _, err := r.load(filepath.Join("testdata", "src", "obsfix"), "fix/obsfix"); err != nil {
-		t.Fatalf("load obsfix fixture: %v", err)
+	// Pre-load the stand-in dependency packages so fixtures importing
+	// them type-check regardless of subtest filtering order.
+	for _, dep := range []string{"obsfix", "regfix", "colfix", "obsvec"} {
+		if _, err := r.load(filepath.Join("testdata", "src", dep), "fix/"+dep); err != nil {
+			t.Fatalf("load %s fixture: %v", dep, err)
+		}
 	}
 	cases := []struct {
 		pkg  string
@@ -101,6 +104,45 @@ func TestFixtureCorpus(t *testing.T) {
 			pkg: "obsbridge",
 			want: []want{
 				{"no-wallclock-rand", 13, "reads the wall clock through fix/obsfix"},
+			},
+		},
+		{
+			pkg: "handlelease",
+			want: []want{
+				{"handle-lease", 12, "return leaks h"},
+				{"handle-lease", 18, "not released on every path through leakEnd"},
+				{"handle-lease", 26, "second Release of h"},
+				{"handle-lease", 34, "after a deferred Release"},
+				{"handle-lease", 41, "use of h after Release"},
+				{"handle-lease", 57, "not released on every path through consume"},
+			},
+		},
+		{
+			pkg: "arenaescape",
+			want: []want{
+				{"arena-escape", 23, "package-level cache"},
+				{"arena-escape", 31, "package-level index"},
+				{"arena-escape", 37, "package-level channel events"},
+				{"arena-escape", 47, "passed to retain"},
+			},
+		},
+		{
+			pkg: "stickyerr",
+			want: []want{
+				{"sticky-error", 19, "return commits values decoded from d"},
+				{"sticky-error", 25, "never checked in drop"},
+				{"sticky-error", 55, "never checked in viaHelper"},
+				{"sticky-error", 74, "passed to fill"},
+			},
+		},
+		{
+			pkg: "metricvec",
+			want: []want{
+				{"metric-discipline", 23, "1 label values; the family declares 2"},
+				{"metric-discipline", 28, `declares "tenant" at position 1`},
+				{"metric-discipline", 33, "depends on userID"},
+				{"metric-discipline", 41, "With inside //cats:hotpath score"},
+				{"metric-discipline", 59, "2 label values; the family declares 1"},
 			},
 		},
 	}
@@ -184,6 +226,9 @@ func TestRepoHasHotpathAnnotations(t *testing.T) {
 		"repro/internal/stats",
 		"repro/internal/ml/gbt",
 		"repro/internal/sentiment",
+		"repro/internal/colfmt",
+		"repro/internal/core",
+		"repro/internal/dataset",
 	} {
 		if counts[pkg] == 0 {
 			t.Errorf("package %s has no //cats:hotpath annotations left", pkg)
@@ -200,11 +245,15 @@ func TestAnalyzerNamesStable(t *testing.T) {
 	}
 	sort.Strings(names)
 	want := []string{
+		"arena-escape",
 		"ctx-propagation",
+		"handle-lease",
 		"hotpath-alloc",
 		"map-range-determinism",
+		"metric-discipline",
 		"no-wallclock-rand",
 		"pool-pairing",
+		"sticky-error",
 	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("analyzer names = %v, want %v", names, want)

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StickyError enforces the colfmt sticky-error decode contract. A Dec's
+// getters never fail loudly — after the first malformed byte they
+// return zero values and latch the error for Err/Done — so the contract
+// is that *someone* checks before the decoded values are committed to a
+// snapshot or dataset structure. Forgetting the check does not crash;
+// it silently builds a model or corpus out of zeros, which is the worst
+// kind of corruption: the one that serves traffic.
+//
+// The analyzer tracks each Dec created in a function (any call
+// returning a *Dec) along statement paths: getter calls mark it dirty,
+// Err/Done mark it clean, and a return that carries getter-derived
+// values while dirty is a finding. Decode helpers that receive the
+// *Dec as a parameter are summarized — does the helper read it, does it
+// check on every path? — so a caller handing its Dec to a helper that
+// checks is clean, while handing it to one that does not inherits the
+// dirty state (and passing a freshly created Dec into a never-checking
+// helper is flagged at the call site).
+var StickyError = &Analyzer{
+	Name: "sticky-error",
+	Doc:  "values decoded from a colfmt Dec must not be committed before Err/Done is checked",
+	Run:  runStickyError,
+}
+
+func runStickyError(p *Package, _ Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, fn := range p.funcDecls() {
+		diags = append(diags, p.lintStickyFunc(fn)...)
+	}
+	return diags
+}
+
+// decSummary is the interprocedural fact about one function's *Dec
+// parameters.
+type decSummary struct {
+	getters []bool // param i is read by a getter on some path
+	checks  []bool // param i is Err/Done-checked, after the last getter, on every path
+}
+
+// isDecType reports whether t is (a pointer to) the sticky decoder: a
+// named type called Dec with an Err method.
+func isDecType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Name() == "Dec" && hasMethod(n, "Err")
+}
+
+// decCreation reports whether call returns a fresh *Dec (NewDec,
+// Reader.Dec, or any wrapper with a single *Dec result).
+func (p *Package) decCreation(call *ast.CallExpr) bool {
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isDecType(sig.Results().At(0).Type())
+}
+
+// decSummaryOf computes (memoized) the Dec-parameter summary of a
+// statically resolved function. Cycles summarize to "reads, never
+// checks" — the direction that can demand a redundant check in the
+// caller but never hides a missing one.
+func (p *Package) decSummaryOf(obj types.Object) *decSummary {
+	pr := p.prog
+	if s, ok := pr.dec[obj]; ok {
+		return s
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		s := &decSummary{}
+		pr.dec[obj] = s
+		return s
+	}
+	n := sig.Params().Len()
+	s := &decSummary{getters: make([]bool, n), checks: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		if isDecType(sig.Params().At(i).Type()) {
+			s.getters[i] = true // in-progress/unknown bottom: reads, never checks
+		}
+	}
+	pr.dec[obj] = s
+	fi := pr.funcs[obj]
+	if fi == nil {
+		return s
+	}
+	for i := 0; i < n; i++ {
+		if !isDecType(sig.Params().At(i).Type()) {
+			continue
+		}
+		w := fi.Pkg.stickyWalk(fi.Decl, nil, sig.Params().At(i))
+		s.getters[i] = w.gettersEver
+		s.checks[i] = w.checkedEver && !w.exitDirty
+	}
+	return s
+}
+
+// stickySite is one tracked Dec: either a creation statement inside the
+// function under analysis, or (for summaries) a parameter.
+type stickySite struct {
+	stmt *ast.AssignStmt // nil when tracking a parameter
+	dec  types.Object
+}
+
+// lintStickyFunc finds every Dec created in fn, walks each, and also
+// checks inline Dec arguments handed straight to helpers.
+func (p *Package) lintStickyFunc(fn *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		// A Dec created inline as a call argument never gets a local
+		// check; the callee must be a checking helper.
+		if call, ok := n.(*ast.CallExpr); ok {
+			for i, arg := range call.Args {
+				ac, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok || !p.decCreation(ac) {
+					continue
+				}
+				fi, obj := p.callee(call)
+				if fi == nil || obj == nil {
+					continue // unknown callee: cannot judge
+				}
+				s := p.decSummaryOf(obj)
+				if i < len(s.getters) && s.getters[i] && !s.checks[i] {
+					diags = append(diags, p.diag(arg, "sticky-error",
+						"Dec created inline is passed to %s, which does not Err/Done-check it on every path", obj.Name()))
+				}
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !p.decCreation(call) {
+			return true
+		}
+		objs := p.assignedObjs(as.Lhs)
+		if objs[0] == nil {
+			return true
+		}
+		w := p.stickyWalk(fn, as, objs[0])
+		diags = append(diags, w.violations...)
+		if len(w.violations) == 0 && w.gettersEver && !w.checkedEver && !w.escaped {
+			diags = append(diags, p.diag(as, "sticky-error",
+				"%s is read but its Err/Done is never checked in %s", objs[0].Name(), fn.Name.Name))
+		}
+		return true
+	})
+	return diags
+}
+
+// stickyWalk runs the path walker for one Dec (creation site or
+// parameter) over fn.
+func (p *Package) stickyWalk(fn *ast.FuncDecl, site *ast.AssignStmt, dec types.Object) *stickyWalker {
+	w := &stickyWalker{p: p, site: &stickySite{stmt: site, dec: dec}}
+	w.taints = p.decTaints(fn, dec)
+	st := stickyState{active: site == nil} // a parameter Dec exists from entry
+	st = w.walkStmts(fn.Body.List, st)
+	if st.dirty {
+		w.exitDirty = true
+	}
+	return w
+}
+
+// stickyState tracks one Dec along a statement path.
+type stickyState struct {
+	active bool
+	dirty  bool // getters have run since the last Err/Done
+}
+
+type stickyWalker struct {
+	p      *Package
+	site   *stickySite
+	taints map[types.Object]bool
+
+	gettersEver bool
+	checkedEver bool
+	escaped     bool
+	exitDirty   bool // some exit (return or fall-off) happened while dirty
+	violations  []Diagnostic
+}
+
+// decTaints runs a fixed point marking every value derived from the
+// Dec's getters, so dirty returns are only flagged when they actually
+// carry decoded data (returning a plain error while dirty is the
+// normal bail-out and stays legal).
+func (p *Package) decTaints(fn *ast.FuncDecl, dec types.Object) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	getterIn := func(e ast.Expr) bool {
+		for _, call := range callsIn(e, true) {
+			if p.stickyMethod(call, dec) == stickyGetter {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		add := func(e ast.Expr) {
+			if e == nil {
+				return
+			}
+			id := rootIdent(e)
+			if id == nil {
+				return
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil || set[obj] || obj == dec || isPkgLevel(obj) {
+				return
+			}
+			set[obj] = true
+			changed = true
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range x.Lhs {
+					r := x.Rhs[0]
+					if len(x.Lhs) == len(x.Rhs) {
+						r = x.Rhs[i]
+					}
+					if getterIn(r) || p.mentionsAny(r, set) {
+						add(l)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range x.Values {
+					if (getterIn(v) || p.mentionsAny(v, set)) && i < len(x.Names) {
+						add(x.Names[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// stickyMethod classifies a call against the tracked Dec.
+type stickyKind int
+
+const (
+	stickyNone stickyKind = iota
+	stickyGetter
+	stickyCheck
+)
+
+func (p *Package) stickyMethod(call *ast.CallExpr, dec types.Object) stickyKind {
+	name := methodName(call)
+	if name == "" {
+		return stickyNone
+	}
+	id := rootIdent(recvExpr(call))
+	if id == nil || p.Info.Uses[id] != dec {
+		return stickyNone
+	}
+	if name == "Err" || name == "Done" {
+		return stickyCheck
+	}
+	return stickyGetter
+}
+
+func (w *stickyWalker) walkStmts(stmts []ast.Stmt, st stickyState) stickyState {
+	for _, s := range stmts {
+		st = w.walkStmt(s, st)
+	}
+	return st
+}
+
+// branch walks conditional subtrees with a state copy; a branch that
+// ends dirty poisons the fall-through (the conservative direction), a
+// check inside a branch is not credited past it.
+func (w *stickyWalker) branch(st stickyState, stmts ...ast.Stmt) stickyState {
+	for _, s := range stmts {
+		if s == nil {
+			continue
+		}
+		if out := w.walkStmt(s, st); out.active && out.dirty {
+			st.active, st.dirty = true, true
+		}
+	}
+	return st
+}
+
+// scanExpr applies getter/check/helper events occurring inside an
+// expression (conditions, call arguments) to the path state.
+func (w *stickyWalker) scanExpr(e ast.Node, st stickyState) stickyState {
+	if e == nil || w.escaped {
+		return st
+	}
+	for _, call := range callsIn(e, false) {
+		switch w.p.stickyMethod(call, w.site.dec) {
+		case stickyGetter:
+			st.active, st.dirty = true, true
+			w.gettersEver = true
+		case stickyCheck:
+			st.dirty = false
+			w.checkedEver = true
+		case stickyNone:
+			st = w.helperCall(call, st)
+		}
+	}
+	return st
+}
+
+// helperCall applies a callee's Dec-parameter summary when the tracked
+// Dec is passed as an argument; unknown callees end tracking (the
+// conservative silence — we cannot see what they do).
+func (w *stickyWalker) helperCall(call *ast.CallExpr, st stickyState) stickyState {
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || w.p.Info.Uses[id] != w.site.dec {
+			continue
+		}
+		fi, obj := w.p.callee(call)
+		if fi == nil || obj == nil {
+			w.escaped = true
+			return st
+		}
+		s := w.p.decSummaryOf(obj)
+		if i < len(s.getters) && s.getters[i] {
+			st.active, st.dirty = true, true
+			w.gettersEver = true
+		}
+		if i < len(s.checks) && s.checks[i] {
+			st.dirty = false
+			w.checkedEver = true
+		}
+	}
+	return st
+}
+
+func (w *stickyWalker) walkStmt(s ast.Stmt, st stickyState) stickyState {
+	if w.escaped {
+		return st
+	}
+	if w.site.stmt != nil && s == w.site.stmt {
+		return stickyState{active: true}
+	}
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		st = w.scanExpr(x, st)
+		if !st.active || !st.dirty {
+			return st
+		}
+		for _, res := range x.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && w.p.Info.Uses[id] == w.site.dec {
+				w.escaped = true // the Dec itself is handed to the caller
+				return st
+			}
+		}
+		carries := false
+		for _, res := range x.Results {
+			if w.p.mentionsAny(res, w.taints) {
+				carries = true
+			}
+			for _, call := range callsIn(res, true) {
+				if w.p.stickyMethod(call, w.site.dec) == stickyGetter {
+					carries = true // `return d.Uvarint()` commits directly
+				}
+			}
+		}
+		if carries {
+			w.violations = append(w.violations, w.p.diag(x, "sticky-error",
+				"return commits values decoded from %s before Err/Done is checked on this path", w.site.dec.Name()))
+		} else {
+			w.exitDirty = true
+		}
+	case *ast.BlockStmt:
+		st = w.walkStmts(x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		st = w.scanExpr(x.Cond, st)
+		st = w.branch(st, x.Body, x.Else)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		st = w.scanExpr(x.Cond, st)
+		st = w.branch(st, x.Body)
+	case *ast.RangeStmt:
+		st = w.scanExpr(x.X, st)
+		st = w.branch(st, x.Body)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		st = w.scanExpr(x.Tag, st)
+		st = w.branch(st, clauseBodies(s)...)
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		st = w.branch(st, clauseBodies(s)...)
+	case *ast.LabeledStmt:
+		st = w.walkStmt(x.Stmt, st)
+	case *ast.AssignStmt:
+		st = w.scanExpr(x, st)
+		// Storing the Dec itself in a structure moves ownership.
+		for _, r := range x.Rhs {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && w.p.Info.Uses[id] == w.site.dec {
+				w.escaped = true
+			}
+		}
+	default:
+		st = w.scanExpr(s, st)
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+// Package arenaescape is a catslint fixture: colfmt arena-aliased
+// strings published into package-level state directly, through a
+// taint-returning helper, and through a parameter-escaping helper,
+// next to the legal local-scope uses.
+package arenaescape
+
+import (
+	"strings"
+
+	"fix/colfix"
+)
+
+// Package-lifetime destinations: nothing owns an arena this long.
+var (
+	cache  []string
+	index  = map[string]int{}
+	events = make(chan string, 8)
+)
+
+// keepAll publishes the decoded column into the package-level slice.
+func keepAll(d *colfix.Dec) {
+	ss := d.StringCol(4)
+	cache = ss
+}
+
+// firstName launders an arena string through a helper return.
+func firstName(d *colfix.Dec) string { return d.StringCol(1)[0] }
+
+// remember stores the helper's tainted result as a global map key.
+func remember(d *colfix.Dec) {
+	index[firstName(d)] = 1
+}
+
+// stream sends arena strings on a package-level channel.
+func stream(d *colfix.Dec) {
+	for _, s := range d.StringCol(8) {
+		events <- s
+	}
+}
+
+// retain stores its argument in the package-level cache; passing it
+// tainted data is the caller's finding.
+func retain(ss []string) { cache = ss }
+
+// handoff gives arena strings to the escaping helper.
+func handoff(d *colfix.Dec) {
+	retain(d.StringCol(2))
+}
+
+// doc is a caller-owned structure.
+type doc struct{ names []string }
+
+// local keeps the aliased strings in caller-owned scope: clean.
+func local(d *colfix.Dec) doc {
+	return doc{names: d.StringCol(3)}
+}
+
+// keepCopy publishes process-lifetime copies made with strings.Clone,
+// the sanctioned laundering point: clean.
+func keepCopy(d *colfix.Dec) {
+	ss := d.StringCol(2)
+	out := make([]string, len(ss))
+	for i := range ss {
+		out[i] = strings.Clone(ss[i])
+	}
+	cache = out
+}

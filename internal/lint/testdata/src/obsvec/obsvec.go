@@ -1,0 +1,30 @@
+// Package obsvec is a catslint fixture standing in for the internal/obs
+// Vec API: labeled families registered with fixed keys, resolved to
+// series handles through With. The metric-discipline fixtures import it
+// so the analyzer indexes registrations and checks call sites exactly
+// as it does against the real obs.
+package obsvec
+
+// Counter is a resolved series handle — a lock-free atomic in the real
+// layer, so hot paths hold one of these, never a Vec.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ keys []string }
+
+// With resolves the series for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+// Registry registers metric families.
+type Registry struct{}
+
+// CounterVec registers a counter family with fixed label keys.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{keys: keys}
+}
+
+// Default is the fixture's process-wide registry.
+var Default = &Registry{}

@@ -1,0 +1,36 @@
+// Package regfix is a catslint fixture standing in for
+// internal/registry: a refcounted handle acquired from a tenant, plus a
+// lease-producer helper so the handle-lease fixtures can exercise the
+// cross-package summary (a caller of Lease inherits the Release
+// obligation).
+package regfix
+
+// Handle is a stand-in refcounted model lease.
+type Handle struct{ refs int }
+
+// Release returns the lease.
+func (h *Handle) Release() { h.refs-- }
+
+// Ping is a stand-in use of the leased model.
+func (h *Handle) Ping() {}
+
+// Tenant hands out handles.
+type Tenant struct{ cur *Handle }
+
+// Acquire leases the current handle, or nil when the tenant is closed.
+func (t *Tenant) Acquire() *Handle {
+	if t.cur != nil {
+		t.cur.refs++
+	}
+	return t.cur
+}
+
+// Lease acquires and hands the live handle to the caller — a lease
+// producer: the obligation to Release travels with the first result.
+func Lease(t *Tenant) (*Handle, bool) {
+	h := t.Acquire()
+	if h == nil {
+		return nil, false
+	}
+	return h, true
+}

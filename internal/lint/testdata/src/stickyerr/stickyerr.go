@@ -1,0 +1,76 @@
+// Package stickyerr is a catslint fixture: values decoded from a
+// sticky-error Dec committed without an Err/Done check — directly, via
+// a non-checking helper, and via an inline Dec no one can check — next
+// to the checked idioms.
+package stickyerr
+
+import "fix/colfix"
+
+// record is a stand-in snapshot structure.
+type record struct {
+	n  uint64
+	id string
+}
+
+// commit returns decoded values without ever checking the error.
+func commit(arena string) record {
+	d := colfix.NewDec(arena)
+	r := record{n: d.Uvarint(), id: d.Str()}
+	return r
+}
+
+// drop reads and never checks; reported at the creation.
+func drop(arena string) {
+	var sink uint64
+	d := colfix.NewDec(arena)
+	sink = d.Uvarint()
+	_ = sink
+}
+
+// checked commits only after Done: clean.
+func checked(arena string) (record, error) {
+	d := colfix.NewDec(arena)
+	r := record{n: d.Uvarint(), id: d.Str()}
+	if err := d.Done(); err != nil {
+		return record{}, err
+	}
+	return r, nil
+}
+
+// fill reads without checking: callers inherit the dirty state.
+func fill(d *colfix.Dec, r *record) {
+	r.n = d.Uvarint()
+}
+
+// fillChecked reads and checks on every path: callers come out clean.
+func fillChecked(d *colfix.Dec, r *record) error {
+	r.n = d.Uvarint()
+	return d.Done()
+}
+
+// viaHelper trusts a helper that never checks; reported at the
+// creation, since no check happens anywhere on the Dec's lifetime.
+func viaHelper(arena string) record {
+	var r record
+	d := colfix.NewDec(arena)
+	fill(d, &r)
+	return r
+}
+
+// viaChecked trusts the checking helper: clean.
+func viaChecked(arena string) record {
+	var r record
+	d := colfix.NewDec(arena)
+	if err := fillChecked(d, &r); err != nil {
+		return record{}
+	}
+	return r
+}
+
+// inline hands a fresh Dec straight to the non-checking helper: no
+// scope can ever check it.
+func inline(arena string) record {
+	var r record
+	fill(colfix.NewDec(arena), &r)
+	return r
+}

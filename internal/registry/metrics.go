@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"strings"
 	"sync"
 
 	"repro/internal/obs"
@@ -42,12 +43,22 @@ func tenantMetricsFor(tenant string) *tenantMetrics {
 	if m, ok := tenantMetricsCache[tenant]; ok {
 		return m
 	}
-	m := &tenantMetrics{
+	// The cache key and label values live for the process; copy the
+	// caller's string so a decode-arena alias is never pinned here.
+	key := strings.Clone(tenant)
+	m := resolveTenantMetrics(key)
+	tenantMetricsCache[key] = m
+	return m
+}
+
+// resolveTenantMetrics takes the family locks once and resolves every
+// per-tenant series handle. tenant must be a process-owned string: the
+// families retain it as a label value.
+func resolveTenantMetrics(tenant string) *tenantMetrics {
+	return &tenantMetrics{
 		reloadOK:       vReloads.With("ok", tenant),
 		reloadRejected: vReloads.With("rejected", tenant),
 		reloadError:    vReloads.With("error", tenant),
 		modelVersion:   vModelVersion.With(tenant),
 	}
-	tenantMetricsCache[tenant] = m
-	return m
 }

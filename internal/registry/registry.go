@@ -109,12 +109,25 @@ type Handle struct {
 // registry was built without batching.
 func (h *Handle) Dispatcher() *dispatch.Dispatcher { return h.disp }
 
-// Release returns the lease. When the handle has been retired by a
-// swap and this was its last holder, the handle's dispatcher drains
-// and closes — the deferred half of zero-downtime reload.
+// Release returns the lease. refs counts holders only — publication
+// itself keeps the handle alive — so when the handle has been retired
+// by a swap and this was its last holder, the dispatcher drains and
+// closes: the deferred half of zero-downtime reload. A Release beyond
+// the holder count is refused: the CAS loop never takes the count
+// below zero, so a buggy double-Release cannot underflow the refcount
+// or close a handle that is still published or still held.
 func (h *Handle) Release() {
-	if h.refs.Add(-1) == 0 && h.retired.Load() {
-		h.close()
+	for {
+		n := h.refs.Load()
+		if n <= 0 {
+			return // already fully released: refuse the underflow
+		}
+		if h.refs.CompareAndSwap(n, n-1) {
+			if n == 1 && h.retired.Load() {
+				h.close()
+			}
+			return
+		}
 	}
 }
 
@@ -127,11 +140,15 @@ func (h *Handle) close() {
 	}
 }
 
-// retire marks the handle replaced and drops the registry's own
-// reference. Holders still finish on it; the last Release closes it.
+// retire marks the handle replaced. Holders still finish on it; the
+// last Release closes it, or retire does when none remain. The two
+// sides can race to observe (retired, refs==0) — close is idempotent,
+// so the overlap is harmless.
 func (h *Handle) retire() {
 	h.retired.Store(true)
-	h.Release()
+	if h.refs.Load() == 0 {
+		h.close()
+	}
 }
 
 // Tenant is one named model slot.
@@ -448,7 +465,8 @@ func (t *Tenant) publish(det *core.Detector, analyzer *core.Analyzer, version st
 		o.Tenant = t.name
 		h.disp = dispatch.New(det, o)
 	}
-	h.refs.Store(1) // the registry's own reference, dropped by retire()
+	// refs counts in-flight holders; being published is what keeps the
+	// fresh handle alive until retire().
 	old := t.cur.Load()
 	if !t.cur.CompareAndSwap(old, h) {
 		// Unreachable: swaps are serialized by reloadMu, so cur cannot

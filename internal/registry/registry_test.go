@@ -384,3 +384,61 @@ func TestHandleOutlivesSwap(t *testing.T) {
 	}
 	r.Close()
 }
+
+// TestDoubleReleaseGuard pins the Release underflow guard: a buggy
+// second Release of the same lease must be a no-op — it cannot steal
+// the registry's own reference, drive the refcount negative, or close
+// a dispatcher that a live holder (or the registry itself) still needs.
+func TestDoubleReleaseGuard(t *testing.T) {
+	_, _, snapA := trainSnapshot(t, 109, core.DetectorConfig{})
+	_, _, snapB := trainSnapshot(t, 110, core.DetectorConfig{})
+	items := testItems(t, 15)
+
+	r := New(Options{Batching: &dispatch.Options{MaxBatch: 4, MaxWait: time.Millisecond}})
+	if _, err := r.Load(context.Background(), "taobao", "A", snapA); err != nil {
+		t.Fatal(err)
+	}
+	tn := r.Tenant("taobao")
+
+	h := tn.Acquire()
+	if h == nil {
+		t.Fatal("no handle after load")
+	}
+	h.Release()
+	h.Release() // buggy double release: must not underflow
+	if n := h.refs.Load(); n < 0 {
+		t.Fatalf("refs underflowed to %d after double release", n)
+	}
+	// The published handle must still serve: publication, not the
+	// holder count, keeps it alive, so the double release cannot have
+	// closed it.
+	if _, err := h.Dispatcher().Submit(context.Background(), items); err != nil {
+		t.Fatalf("published handle refused work after double release: %v", err)
+	}
+	h2 := tn.Acquire()
+	if h2 != h {
+		t.Fatalf("Acquire returned %p, want the still-published %p", h2, h)
+	}
+	h2.Release()
+
+	// Swap in B: A retires, its last reference drops, its dispatcher
+	// closes exactly once. Further Releases of the dead handle are
+	// no-ops that keep the count pinned at zero.
+	if _, err := r.Load(context.Background(), "taobao", "B", snapB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Dispatcher().Submit(context.Background(), items); !dispatch.IsShed(err) {
+		t.Fatalf("retired handle's dispatcher still open: %v", err)
+	}
+	h.Release()
+	h.Release()
+	if n := h.refs.Load(); n != 0 {
+		t.Fatalf("refs after releasing a retired handle = %d, want 0", n)
+	}
+	live := tn.Acquire()
+	defer live.Release()
+	if live.Version != "B" {
+		t.Fatalf("live version = %s, want B", live.Version)
+	}
+	r.Close()
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# lint_fixtures.sh — pin the analyzer outputs themselves.
+#
+# Runs catslint over its own fixture corpus (internal/lint/testdata/src,
+# module "fix") with the corpus's scoping config and diffs the findings,
+# reduced to their file:line:col and rule, against the expected set. A
+# diff in either direction fails: a missing line means an analyzer went
+# blind, an extra line means one started overreporting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SRC=internal/lint/testdata/src
+EXPECTED=internal/lint/testdata/expected_findings.txt
+
+status=0
+out=$(go run ./cmd/catslint \
+  -root "$SRC" \
+  -det-pkgs "fix/wallclock,fix/obsfix,fix/obsbridge" \
+  -pinned-pkgs "fix/maprange" \
+  -exempt-pkgs "fix/obsfix" \
+  -bridges "fix/obsfix=StartSpan" \
+  -label-allowlist "tenant,route" \
+  2>/dev/null) || status=$?
+
+if [ "$status" -ne 1 ]; then
+  echo "lint-fixtures: catslint exited $status over the fixture corpus, want 1 (findings)" >&2
+  exit 1
+fi
+
+# path:line:col: rule: message  ->  relative-path:line:col rule
+got=$(printf '%s\n' "$out" \
+  | sed -e "s|^$(pwd)/$SRC/||" \
+        -e 's/^\([^:]*:[0-9]*:[0-9]*\): \([a-z-]*\): .*/\1 \2/')
+
+if ! diff -u "$EXPECTED" <(printf '%s\n' "$got"); then
+  echo "lint-fixtures: findings drifted from $EXPECTED" >&2
+  exit 1
+fi
+echo "lint-fixtures: $(wc -l < "$EXPECTED") findings match"
