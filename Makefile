@@ -47,15 +47,17 @@ bench-smoke:
 # Run each fuzz target briefly (CI does this per PR): the trie
 # segmenter against the map-based reference, the table-driven IsPunct
 # against the unicode-package definition, the service's request
-# decoder against arbitrary bodies (never a 5xx), and the columnar
+# decoder against arbitrary bodies (never a 5xx), the columnar
 # container decoder against corrupt/truncated/hostile inputs (must
-# always fail diagnosably, never panic or over-allocate). -fuzz takes
+# always fail diagnosably, never panic or over-allocate), and the
+# graph cluster-report decoder under the same contract. -fuzz takes
 # a single target per invocation, hence the separate runs.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentDifferential -fuzztime=10s ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzIsPunct -fuzztime=10s ./internal/tokenize
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRequest -fuzztime=10s ./internal/service
 	$(GO) test -run='^$$' -fuzz=FuzzColfmtDecode -fuzztime=10s ./internal/colfmt
+	$(GO) test -run='^$$' -fuzz=FuzzReportDecode -fuzztime=10s ./internal/graph
 
 # End-to-end lifecycle smoke of the serving binary (CI runs this):
 # train a tiny model, boot catsserve, probe /healthz + /readyz, POST a

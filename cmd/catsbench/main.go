@@ -6,7 +6,7 @@
 //
 //	catsbench [-exp all|table1|table3|table4|table5|table6|
 //	           fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig10|fig11|fig12|fig13|
-//	           eplatform|riskyusers|throughput|serve|corpus|
+//	           eplatform|riskyusers|throughput|serve|corpus|graph|
 //	           filterablation|featureablation|lexiconablation|gbtablation]
 //	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
 //	          [-json]
@@ -41,6 +41,8 @@ func main() {
 		sample  = flag.Int("sample", 0, "per-class item sample for distribution figures (default 400)")
 		corpus  = flag.Int("corpus", 0, "word2vec corpus comments (default 20000)")
 		stream  = flag.Int("streamcomments", 0, "corpus-experiment streamed comment volume (default 200000)")
+		gusers  = flag.Int("graphusers", 0, "graph-experiment user pool (default 200000)")
+		gedges  = flag.Int("graphedges", 0, "graph-experiment edge count (default 2000000)")
 		seed    = flag.Int64("seed", 0, "seed offset for all universes")
 		asJSON  = flag.Bool("json", false, "also write BENCH_<exp>.json per experiment (ns, allocs, result)")
 	)
@@ -48,7 +50,8 @@ func main() {
 
 	lab := experiments.NewLab(experiments.Config{
 		D0Scale: *d0scale, D1Scale: *d1scale, EPlatScale: *epscale,
-		SampleItems: *sample, CorpusComments: *corpus, StreamComments: *stream, Seed: *seed,
+		SampleItems: *sample, CorpusComments: *corpus, StreamComments: *stream,
+		GraphUsers: *gusers, GraphEdges: *gedges, Seed: *seed,
 	})
 	if err := run(lab, *exp, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "catsbench:", err)
@@ -62,7 +65,7 @@ var experimentOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "appendix",
 	"fig10", "fig11", "fig12", "fig13",
 	"eplatform", "riskyusers", "timeaspect", "deployment", "thresholdsweep", "robustness",
-	"learningcurve", "roundscurve", "throughput", "serve", "corpus",
+	"learningcurve", "roundscurve", "throughput", "serve", "corpus", "graph",
 	"filterablation", "featureablation", "lexiconablation", "gbtablation",
 }
 
@@ -152,6 +155,8 @@ func run(lab *experiments.Lab, exp string, asJSON bool) error {
 		out, err = lab.Serve()
 	case "corpus":
 		out, err = lab.Corpus()
+	case "graph":
+		out, err = lab.Graph()
 	case "filterablation":
 		out, err = lab.FilterAblation()
 	case "featureablation":

@@ -51,7 +51,9 @@ func run(name string, scale float64, seed int64, out string) error {
 		return err
 	}
 	s := u.Dataset.Stats()
-	fmt.Printf("wrote %s: %d fraud (%d evidence, %d manual), %d normal, %d comments\n",
-		out, s.FraudItems, s.EvidenceFraud, s.ManualFraud, s.NormalItems, s.Comments)
+	fmt.Printf("wrote %s: %d fraud (%d evidence, %d manual), %d normal, %d comments, "+
+		"%d risky users (%d repeat fraud buyers)\n",
+		out, s.FraudItems, s.EvidenceFraud, s.ManualFraud, s.NormalItems, s.Comments,
+		s.RiskyUsers, s.RepeatFraudBuyers)
 	return nil
 }

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ecom"
+	"repro/internal/graph"
+	"repro/internal/synth"
+)
+
+// TestGraphScorerBoost wires a cluster scorer mined from a planted ring
+// attack into a trained detector and checks the boost contract: ring
+// items gain score and carry cluster evidence, everything else is
+// untouched, and no score leaves [0, 1].
+func TestGraphScorerBoost(t *testing.T) {
+	d, _ := trainedDetector(t, DetectorConfig{})
+	u := synth.RingAttack(synth.RingConfig{Seed: 5, Rings: 3, NormalItems: 12})
+	g := graph.FromDataset(&u.Dataset, func(it *ecom.Item) bool { return it.Label.IsFraud() }, graph.Config{})
+	sc := g.Cluster().Scorer(graph.ScorerConfig{})
+	if sc.Items() == 0 {
+		t.Fatal("scorer attached no items")
+	}
+
+	base, err := d.Detect(u.Dataset.Items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetGraphScorer(sc)
+	defer d.SetGraphScorer(nil)
+	boosted, err := d.Detect(u.Dataset.Items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sawBoost, sawPlain bool
+	for i := range boosted {
+		id := boosted[i].ItemID
+		_, inRing := u.ItemRing[id]
+		if b, base := boosted[i], base[i]; inRing && !b.Filtered {
+			sawBoost = true
+			if b.ClusterSize != u.Config.RingSize {
+				t.Fatalf("item %s: cluster size %d, want ring size %d", id, b.ClusterSize, u.Config.RingSize)
+			}
+			if b.GraphBoost <= 0 && base.Score < 1 {
+				t.Fatalf("item %s: no boost applied", id)
+			}
+			if b.Score <= base.Score && base.Score < 1 {
+				t.Fatalf("item %s: boosted score %.4f not above baseline %.4f", id, b.Score, base.Score)
+			}
+		} else if !inRing {
+			sawPlain = true
+			if b.Score != base.Score || b.ClusterSize != 0 || b.GraphBoost != 0 {
+				t.Fatalf("item %s: unclustered item changed under scorer", id)
+			}
+		}
+		if s := boosted[i].Score; s < 0 || s > 1 {
+			t.Fatalf("item %s: score %.4f out of range", id, s)
+		}
+	}
+	if !sawBoost || !sawPlain {
+		t.Fatalf("test population degenerate: sawBoost=%v sawPlain=%v", sawBoost, sawPlain)
+	}
+
+	// Clearing the scorer restores the baseline path.
+	d.SetGraphScorer(nil)
+	again, err := d.Detect(u.Dataset.Items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i].Score != base[i].Score {
+			t.Fatal("detections with scorer cleared differ from baseline")
+		}
+	}
+}

@@ -142,11 +142,19 @@ type Stats struct {
 	ManualFraud   int
 	NormalItems   int
 	Comments      int
+	// RiskyUsers counts distinct users who commented at least one
+	// fraud-labeled item; RepeatFraudBuyers those who commented at
+	// least two distinct ones (the Table VII funnel). internal/graph
+	// reports the same counts from its CSR arrays, so both layers can
+	// be cross-checked against each other.
+	RiskyUsers        int
+	RepeatFraudBuyers int
 }
 
 // Stats computes dataset summary counts.
 func (d *Dataset) Stats() Stats {
 	var s Stats
+	fraudItemsByUser := map[string]int{}
 	for i := range d.Items {
 		it := &d.Items[i]
 		switch it.Label {
@@ -160,6 +168,24 @@ func (d *Dataset) Stats() Stats {
 			s.NormalItems++
 		}
 		s.Comments += len(it.Comments)
+		if it.Label.IsFraud() {
+			// Distinct commenters only: a user commenting one item
+			// twice is one buyer of one item, not a repeat buyer.
+			distinct := map[string]bool{}
+			for j := range it.Comments {
+				uid := it.Comments[j].UserID
+				if distinct[uid] {
+					continue
+				}
+				distinct[uid] = true
+				switch fraudItemsByUser[uid]++; fraudItemsByUser[uid] {
+				case 1:
+					s.RiskyUsers++
+				case 2:
+					s.RepeatFraudBuyers++
+				}
+			}
+		}
 	}
 	return s
 }

@@ -56,6 +56,11 @@ type Config struct {
 	// <= 0 means 200,000. The corpus is streamed, never materialized,
 	// so this can be raised to the paper's scale on ordinary hardware.
 	StreamComments int
+	// GraphUsers and GraphEdges size the organized-fraud clustering
+	// benchmark's planted-ring universe; <= 0 means 200,000 users /
+	// 2,000,000 edges. The headline run uses 10M / 100M.
+	GraphUsers int
+	GraphEdges int
 	// Workers bounds extraction parallelism; <= 0 means GOMAXPROCS.
 	Workers int
 	// Seed offsets every dataset seed, so labs with different seeds
@@ -84,6 +89,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamComments <= 0 {
 		c.StreamComments = 200000
+	}
+	if c.GraphUsers <= 0 {
+		c.GraphUsers = 200000
+	}
+	if c.GraphEdges <= 0 {
+		c.GraphEdges = 2000000
 	}
 	return c
 }

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ecom"
+	"repro/internal/synth"
+)
+
+// FuzzReportDecode drives the cluster-report decoder with arbitrary
+// bytes: it must never panic and never over-allocate on lying length
+// prefixes, and anything it accepts must re-encode/decode to a fixed
+// point.
+func FuzzReportDecode(f *testing.F) {
+	u := synth.RingAttack(synth.RingConfig{Seed: 2, Rings: 3, NormalItems: 5})
+	g := FromDataset(&u.Dataset, func(it *ecom.Item) bool { return it.Label.IsFraud() }, Config{})
+	valid := EncodeReport(g.Cluster().Report)
+	f.Add(valid)
+	f.Add(EncodeReport(&Report{}))
+	f.Add([]byte(reportMagic))
+	f.Add(append([]byte(reportMagic), ReportVersion, 0xff, 0xff, 0xff, 0xff, 0x0f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeReport(rep)
+		rep2, err := DecodeReport(enc)
+		if err != nil {
+			t.Fatalf("re-decoding an accepted report failed: %v", err)
+		}
+		// Bit-exact fixed point (DeepEqual would stumble on NaN floats
+		// a hostile encoding can legally carry).
+		if !bytes.Equal(enc, EncodeReport(rep2)) {
+			t.Fatal("accepted report has no encode fixed point")
+		}
+	})
+}

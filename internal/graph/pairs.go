@@ -1,0 +1,150 @@
+package graph
+
+// Co-purchase pair mining. For every fraud-scored item's (sorted,
+// deduplicated) buyer list the miner emits all C(d,2) user pairs into
+// an open-addressing count table keyed by the packed (lo<<32 | hi)
+// id pair. Buyer lists are ascending, so lo < hi by construction and
+// the key is canonical; hi >= 1 means a key is never 0, which lets 0
+// mark an empty slot. The table is the paper's "83,745 pairs sharing
+// 2+ fraud items" funnel stage: after mining, every slot with count
+// >= MinSharedItems is a qualifying collusive pair.
+//
+// The table is a plain linear-probe map over two flat arrays — no
+// boxed entries, no Go map overhead — because pair counting is the
+// hottest loop of the subsystem: a 10M-user corpus emits millions of
+// candidate pairs, each one hash+probe+increment.
+
+// pairKey packs an ascending user id pair into one uint64.
+func pairKey(lo, hi UserID) uint64 {
+	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
+}
+
+// pairUsers unpacks a key.
+func pairUsers(key uint64) (lo, hi UserID) {
+	return UserID(key >> 32), UserID(uint32(key))
+}
+
+// pairTable is an open-addressing (linear probe) uint64→int32 count
+// table. Key 0 marks an empty slot; pair keys are never 0.
+type pairTable struct {
+	keys   []uint64
+	counts []int32
+	mask   uint64
+	n      int // occupied slots
+	limit  int // grow threshold (0.7 load factor)
+}
+
+// newPairTable returns a table with at least the given power-of-two
+// capacity.
+func newPairTable(capHint int) *pairTable {
+	size := 1 << 10
+	for size < capHint {
+		size <<= 1
+	}
+	t := &pairTable{}
+	t.alloc(size)
+	return t
+}
+
+func (t *pairTable) alloc(size int) {
+	t.keys = make([]uint64, size)
+	t.counts = make([]int32, size)
+	t.mask = uint64(size - 1)
+	t.limit = size * 7 / 10
+}
+
+// ensure grows the table until it can absorb extra more entries
+// without rehashing, so the mining inner loop never allocates.
+func (t *pairTable) ensure(extra int) {
+	for t.n+extra > t.limit {
+		t.rehash(len(t.keys) << 1)
+	}
+}
+
+// rehash re-inserts every occupied slot into a table of the given
+// size.
+func (t *pairTable) rehash(size int) {
+	oldKeys, oldCounts := t.keys, t.counts
+	t.alloc(size)
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := hash64(k) & t.mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.counts[j] = oldCounts[i]
+	}
+}
+
+// hash64 is the splitmix64 finalizer: deterministic, no seed, good
+// avalanche over packed id pairs.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// inc bumps a pair's shared-item count. Callers must have reserved
+// headroom via ensure: inc itself never grows.
+//
+//cats:hotpath
+func (t *pairTable) inc(key uint64) {
+	i := hash64(key) & t.mask
+	for {
+		k := t.keys[i]
+		if k == key {
+			t.counts[i]++
+			return
+		}
+		if k == 0 {
+			t.keys[i] = key
+			t.counts[i] = 1
+			t.n++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// mineItem emits every buyer pair of one item into the count table.
+// users is ascending and unique, so packed keys are canonical.
+//
+//cats:hotpath
+func mineItem(users []UserID, t *pairTable) {
+	for i := 0; i < len(users); i++ {
+		hi := uint64(uint32(users[i]))
+		for j := 0; j < i; j++ {
+			t.inc(uint64(uint32(users[j]))<<32 | hi)
+		}
+	}
+}
+
+// minePairs runs the pair miner over every fraud-scored item,
+// returning the count table plus funnel counters: how many items were
+// mined and how many were skipped by the degree cap.
+func (g *Graph) minePairs() (t *pairTable, mined, skipped int) {
+	t = newPairTable(1 << 12)
+	for it := range g.itemIDs {
+		if !g.itemFraud[it] {
+			continue
+		}
+		users := g.buyers(it)
+		if len(users) < 2 {
+			continue
+		}
+		if len(users) > g.cfg.MaxItemDegree {
+			skipped++
+			continue
+		}
+		t.ensure(len(users) * (len(users) - 1) / 2)
+		mineItem(users, t)
+		mined++
+	}
+	return t, mined, skipped
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/colfmt"
+)
+
+// Binary cluster-report codec. A report is "CATG" + a version byte +
+// one colfmt payload, so it inherits the snapshot format's sticky-error
+// decoding and count-vs-remaining-bytes allocation guards: a corrupt or
+// adversarial length prefix fails cleanly instead of ballooning memory.
+// Encoding is deterministic because Report itself is canonical — the
+// determinism test round-trips byte equality through this codec.
+
+// reportMagic brands encoded cluster reports.
+const reportMagic = "CATG"
+
+// ReportVersion is the current wire version.
+const ReportVersion = 1
+
+// EncodeReport serializes a canonical report.
+func EncodeReport(rep *Report) []byte {
+	var e colfmt.Enc
+	e.Raw([]byte(reportMagic))
+	e.Byte(ReportVersion)
+	e.Varint(int64(rep.Users))
+	e.Varint(int64(rep.Items))
+	e.Varint(int64(rep.Edges))
+	e.Varint(int64(rep.FraudItems))
+	e.Varint(int64(rep.MinedItems))
+	e.Varint(int64(rep.SkippedMegaItems))
+	e.Varint(int64(rep.RiskyUsers))
+	e.Varint(int64(rep.RepeatBuyers))
+	e.Varint(int64(rep.CandidatePairs))
+	e.Varint(int64(rep.QualifyingPairs))
+	e.Varint(int64(rep.ClusteredUsers))
+	e.Uvarint(uint64(len(rep.Clusters)))
+	for i := range rep.Clusters {
+		c := &rep.Clusters[i]
+		e.Varint(int64(c.ID))
+		e.Varint(int64(c.Pairs))
+		e.Varint(int64(c.SharedFraudItems))
+		e.Varint(int64(c.ItemsTouched))
+		e.F64(c.FraudFraction)
+		e.F64(c.MeanExpValue)
+		e.F64(c.Risk)
+		e.Uvarint(uint64(len(c.Users)))
+		for _, u := range c.Users {
+			e.Str(u)
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodeReport parses an encoded report, rejecting bad magic, unknown
+// versions, and any truncated or lying length before it allocates.
+func DecodeReport(b []byte) (*Report, error) {
+	if len(b) < len(reportMagic)+1 || string(b[:len(reportMagic)]) != reportMagic {
+		return nil, fmt.Errorf("graph report: bad magic")
+	}
+	if v := b[len(reportMagic)]; v != ReportVersion {
+		return nil, fmt.Errorf("graph report: unsupported version %d", v)
+	}
+	d := colfmt.NewDec("graph report", b[len(reportMagic)+1:])
+	rep := &Report{
+		Users:            d.Int(),
+		Items:            d.Int(),
+		Edges:            d.Int(),
+		FraudItems:       d.Int(),
+		MinedItems:       d.Int(),
+		SkippedMegaItems: d.Int(),
+		RiskyUsers:       d.Int(),
+		RepeatBuyers:     d.Int(),
+		CandidatePairs:   d.Int(),
+		QualifyingPairs:  d.Int(),
+		ClusteredUsers:   d.Int(),
+	}
+	// Every cluster costs at least ~30 payload bytes (three fixed f64s
+	// plus varints), so bounding by the f64 block alone is a safe
+	// allocation guard without double-counting.
+	nc := decCount(d, "cluster count", 24)
+	if nc > 0 {
+		rep.Clusters = make([]Cluster, nc)
+	}
+	for i := 0; i < nc && d.Err() == nil; i++ {
+		c := &rep.Clusters[i]
+		c.ID = int32(d.Int())
+		c.Pairs = d.Int()
+		c.SharedFraudItems = d.Int()
+		c.ItemsTouched = d.Int()
+		c.FraudFraction = d.F64()
+		c.MeanExpValue = d.F64()
+		c.Risk = d.F64()
+		nu := decCount(d, "member count", 1)
+		if nu > 0 {
+			c.Users = make([]string, nu)
+		}
+		for j := 0; j < nu && d.Err() == nil; j++ {
+			c.Users[j] = d.Str()
+		}
+		c.Size = len(c.Users)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// decCount reads a count and bounds it by the remaining payload at
+// minBytes per element, mirroring colfmt's internal guard (which is not
+// exported) so corrupt counts can't drive allocations here either.
+func decCount(d *colfmt.Dec, what string, minBytes int) int {
+	v := d.Uvarint()
+	if d.Err() != nil {
+		return 0
+	}
+	if v > uint64(d.Remaining()/minBytes) {
+		d.Failf("%s %d exceeds remaining payload", what, v)
+		return 0
+	}
+	return int(v)
+}

@@ -1,0 +1,95 @@
+package graph
+
+// Scorer feeds cluster-level risk back into item scoring: an item
+// swarmed by a large, fraud-saturated cluster gets an evidence boost
+// even when its own comment text looks plausible. This closes the loop
+// the paper's measurement study motivates — per-item text misses
+// organized campaigns, the co-purchase graph catches them.
+
+// ScorerConfig gates which clusters are strong enough to boost items.
+type ScorerConfig struct {
+	// MinClusterSize is the smallest cluster trusted as evidence;
+	// <= 0 means 4 (a single qualifying pair is too easy to hit
+	// organically).
+	MinClusterSize int
+	// MinFraudFraction is the least fraud saturation (fraud items /
+	// items touched) a cluster needs; <= 0 means 0.5.
+	MinFraudFraction float64
+	// MaxBoost caps the per-item score boost contributed by the graph;
+	// <= 0 means 0.25. The boost applied is MaxBoost * cluster risk.
+	MaxBoost float64
+}
+
+func (c ScorerConfig) withDefaults() ScorerConfig {
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = 4
+	}
+	if c.MinFraudFraction <= 0 {
+		c.MinFraudFraction = 0.5
+	}
+	if c.MaxBoost <= 0 {
+		c.MaxBoost = 0.25
+	}
+	return c
+}
+
+// Evidence is one item's cluster verdict: which cluster swarms it and
+// how hard the detector should lean on that.
+type Evidence struct {
+	// Cluster is the attached cluster's report ID.
+	Cluster int32
+	// Size is the attached cluster's member count.
+	Size int
+	// Risk is the cluster's composite risk score.
+	Risk float64
+	// Boost is the score boost in [0, MaxBoost] the detector folds
+	// into the item's fraud score.
+	Boost float64
+}
+
+// Scorer answers "is this item swarmed by a risky cluster?" by item id.
+// It is immutable after construction and safe for concurrent use.
+type Scorer struct {
+	cfg    ScorerConfig
+	byItem map[string]Evidence
+	report *Report
+}
+
+// Scorer builds the detector-facing view of a clustering result:
+// items attached to clusters passing the config's evidence gates map
+// to their Evidence. Item-id keys are owned by the graph (cloned at
+// intern), so the scorer pins no caller memory.
+func (r *Result) Scorer(cfg ScorerConfig) *Scorer {
+	cfg = cfg.withDefaults()
+	s := &Scorer{cfg: cfg, byItem: map[string]Evidence{}, report: r.Report}
+	for it, c := range r.itemCluster {
+		if c < 0 {
+			continue
+		}
+		cl := &r.Report.Clusters[c]
+		if cl.Size < cfg.MinClusterSize || cl.FraudFraction < cfg.MinFraudFraction {
+			continue
+		}
+		s.byItem[r.g.itemIDs[it]] = Evidence{
+			Cluster: cl.ID,
+			Size:    cl.Size,
+			Risk:    cl.Risk,
+			Boost:   cfg.MaxBoost * cl.Risk,
+		}
+	}
+	return s
+}
+
+// ItemEvidence returns the cluster evidence attached to an item id,
+// if any.
+func (s *Scorer) ItemEvidence(itemID string) (Evidence, bool) {
+	ev, ok := s.byItem[itemID]
+	return ev, ok
+}
+
+// Items returns how many items carry cluster evidence.
+func (s *Scorer) Items() int { return len(s.byItem) }
+
+// Report returns the clustering report the scorer was built from —
+// the payload /t/{tenant}/v1/clusters serves.
+func (s *Scorer) Report() *Report { return s.report }

@@ -1,0 +1,53 @@
+package graph
+
+// Weighted quick-union with path halving. Components are built from
+// qualifying pairs only; users never named in a qualifying pair stay
+// singletons and are excluded from the cluster report. The structure
+// is two flat int32 arrays — 8 bytes per user — so a 10M-user find
+// pass is pure array arithmetic.
+
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// find returns x's root, halving the path as it walks.
+//
+//cats:hotpath
+func (uf *unionFind) find(x int32) int32 {
+	p := uf.parent
+	for p[x] != x {
+		p[x] = p[p[x]]
+		x = p[x]
+	}
+	return x
+}
+
+// union merges the components of a and b, smaller under larger; root
+// choice depends only on component sizes and (on ties) root ids, so
+// the final partition is independent of union order.
+//
+//cats:hotpath
+func (uf *unionFind) union(a, b int32) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	// Deterministic tie-break: equal sizes attach the larger root id
+	// under the smaller. (The partition is order-independent either
+	// way; the tie-break just keeps intermediate roots stable too.)
+	if uf.size[ra] < uf.size[rb] || (uf.size[ra] == uf.size[rb] && ra > rb) {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// partition canonicalizes a union-find into element → smallest member
+// of its component, the order-independent fingerprint the property
+// tests compare.
+func partition(uf *unionFind, n int) []int32 {
+	minOf := make(map[int32]int32)
+	for i := int32(0); i < int32(n); i++ {
+		r := uf.find(i)
+		if m, ok := minOf[r]; !ok || i < m {
+			minOf[r] = i
+		}
+	}
+	out := make([]int32, n)
+	for i := int32(0); i < int32(n); i++ {
+		out[i] = minOf[uf.find(i)]
+	}
+	return out
+}
+
+func TestUnionFindIdempotence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200
+	uf := newUnionFind(n)
+	var pairs [][2]int32
+	for k := 0; k < 150; k++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		pairs = append(pairs, [2]int32{a, b})
+		uf.union(a, b)
+	}
+	before := partition(uf, n)
+	// Re-unioning every pair (several times, shuffled) changes nothing.
+	for rep := 0; rep < 3; rep++ {
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		for _, p := range pairs {
+			uf.union(p[0], p[1])
+		}
+	}
+	if !reflect.DeepEqual(before, partition(uf, n)) {
+		t.Fatal("re-unioning existing pairs changed the partition")
+	}
+}
+
+func TestUnionFindOrderCommutativity(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		var pairs [][2]int32
+		for k := 0; k < n/2+rng.Intn(n); k++ {
+			pairs = append(pairs, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		apply := func(ps [][2]int32) []int32 {
+			uf := newUnionFind(n)
+			for _, p := range ps {
+				uf.union(p[0], p[1])
+			}
+			return partition(uf, n)
+		}
+		want := apply(pairs)
+		for trial := 0; trial < 5; trial++ {
+			shuffled := make([][2]int32, len(pairs))
+			copy(shuffled, pairs)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			if got := apply(shuffled); !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d trial %d: union order changed the partition", seed, trial)
+			}
+		}
+	}
+}
+
+func TestUnionFindComponentSizes(t *testing.T) {
+	uf := newUnionFind(10)
+	uf.union(0, 1)
+	uf.union(2, 3)
+	uf.union(1, 3) // merge both pairs
+	root := uf.find(0)
+	for _, x := range []int32{1, 2, 3} {
+		if uf.find(x) != root {
+			t.Fatalf("element %d not in merged component", x)
+		}
+	}
+	if uf.size[root] != 4 {
+		t.Fatalf("merged size %d, want 4", uf.size[root])
+	}
+	if uf.find(4) == root {
+		t.Fatal("untouched element joined a component")
+	}
+}

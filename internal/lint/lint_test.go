@@ -229,6 +229,7 @@ func TestRepoHasHotpathAnnotations(t *testing.T) {
 		"repro/internal/colfmt",
 		"repro/internal/core",
 		"repro/internal/dataset",
+		"repro/internal/graph",
 	} {
 		if counts[pkg] == 0 {
 			t.Errorf("package %s has no //cats:hotpath annotations left", pkg)

@@ -14,6 +14,7 @@
 //	GET  /v1/importance  — the model's Fig 7 split-count importance
 //	GET  /v1/lexicon     — the expanded positive/negative word sets
 //	GET  /v1/drift       — scored-traffic vs training feature drift (KS)
+//	GET  /v1/clusters    — organized-fraud co-purchase cluster report
 //	POST /t/{tenant}/v1/detect      — tenant-scoped variants of all of
 //	POST /t/{tenant}/v1/explain       the above /v1/* routes
 //	GET  /t/{tenant}/v1/importance
@@ -72,6 +73,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/ecom"
 	"repro/internal/features"
+	"repro/internal/graph"
 	"repro/internal/ml/gbt"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -338,6 +340,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/importance", http.MethodGet, s.handleImportance)
 	route("/v1/drift", http.MethodGet, s.handleDrift)
 	route("/v1/lexicon", http.MethodGet, s.handleLexicon)
+	route("/v1/clusters", http.MethodGet, s.handleClusters)
 	single := func(pattern, method string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.httpm.Wrap(pattern, allowMethod(method, h)))
 	}
@@ -423,6 +426,26 @@ type DetectionDTO struct {
 	Score    float64 `json:"score"`
 	IsFraud  bool    `json:"fraud"`
 	Filtered bool    `json:"filtered"`
+	// Cluster carries the organized-fraud evidence when the item is
+	// swarmed by a qualifying co-purchase cluster (internal/graph).
+	Cluster *ClusterDTO `json:"cluster,omitempty"`
+}
+
+// ClusterDTO is the cluster evidence attached to a detection.
+type ClusterDTO struct {
+	ID    int32   `json:"id"`
+	Size  int     `json:"size"`
+	Boost float64 `json:"boost"`
+}
+
+// detectionDTO converts a core detection, attaching cluster evidence
+// when present.
+func detectionDTO(d core.Detection) DetectionDTO {
+	dto := DetectionDTO{ItemID: d.ItemID, Score: d.Score, IsFraud: d.IsFraud, Filtered: d.Filtered}
+	if d.ClusterSize > 0 {
+		dto.Cluster = &ClusterDTO{ID: d.ClusterID, Size: d.ClusterSize, Boost: d.GraphBoost}
+	}
+	return dto
 }
 
 // DetectResponse is the /v1/detect response body. Tenant and
@@ -491,9 +514,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		ModelGeneration: h.Generation,
 	}
 	for i, d := range dets {
-		resp.Detections[i] = DetectionDTO{
-			ItemID: d.ItemID, Score: d.Score, IsFraud: d.IsFraud, Filtered: d.Filtered,
-		}
+		resp.Detections[i] = detectionDTO(d)
 		if d.IsFraud {
 			resp.Reported++
 		}
@@ -593,7 +614,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{
-		Detection:    DetectionDTO{ItemID: det.ItemID, Score: det.Score, IsFraud: det.IsFraud, Filtered: det.Filtered},
+		Detection:    detectionDTO(det),
 		Features:     exp,
 		Vector:       vec,
 		Names:        features.Names,
@@ -706,6 +727,48 @@ func (s *Server) handleLexicon(w http.ResponseWriter, r *http.Request) {
 		Negative:     h.Analyzer.Negative.Words(),
 		FeatureNames: features.Names,
 	})
+}
+
+// ClustersResponse is the /v1/clusters response body: the tenant
+// model's organized-fraud cluster report. Clusters arrive in the
+// report's canonical order (size descending), so ?limit=N returns the
+// N largest.
+type ClustersResponse struct {
+	Report       *graph.Report `json:"report"`
+	Truncated    bool          `json:"truncated,omitempty"`
+	Tenant       string        `json:"tenant,omitempty"`
+	ModelVersion string        `json:"model_version,omitempty"`
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	tenant, h, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer h.Release()
+	sc := h.Detector.GraphScorer()
+	if sc == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("tenant %q has no cluster report loaded", tenant))
+		return
+	}
+	resp := ClustersResponse{Report: sc.Report(), Tenant: tenant, ModelVersion: h.Version}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err := strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", v))
+			return
+		}
+		if limit < len(resp.Report.Clusters) {
+			// Shallow-copy the report before truncating: the scorer's
+			// report is shared across requests.
+			trimmed := *resp.Report
+			trimmed.Clusters = trimmed.Clusters[:limit]
+			resp.Report = &trimmed
+			resp.Truncated = true
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ReloadRequest is the /admin/reload request body: which tenant to

@@ -232,7 +232,11 @@ type Universe struct {
 	Users []ecom.User
 	// RiskyUserIDs indexes the hired-promoter accounts.
 	RiskyUserIDs map[string]bool
-	Bank         *textgen.Bank
+	// Rings lists the ground-truth collusion rings as user-id sets —
+	// the partition fraud items draw their promoters from. Carried on
+	// the universe so graph-layer cluster recovery is measurable.
+	Rings []map[string]bool
+	Bank  *textgen.Bank
 }
 
 // pools is the shared population a universe's items draw from: the
@@ -327,6 +331,15 @@ func Generate(cfg Config) *Universe {
 	p := buildPools(cfg, rng, gen)
 	u.Users = p.users
 	u.RiskyUserIDs = p.riskyIDs
+	// Ground-truth ring ids, derived from the pools without touching
+	// the RNG (the draw order above is pinned by golden fixtures).
+	for _, ring := range p.rings {
+		ids := make(map[string]bool, len(ring))
+		for _, ri := range ring {
+			ids[p.risky[ri].ID] = true
+		}
+		u.Rings = append(u.Rings, ids)
+	}
 
 	total := cfg.FraudEvidence + cfg.FraudManual + cfg.Normal
 	u.Dataset.Items = make([]ecom.Item, 0, total)
