@@ -6,7 +6,7 @@
 //
 //	catsbench [-exp all|table1|table3|table4|table5|table6|
 //	           fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig10|fig11|fig12|fig13|
-//	           eplatform|riskyusers|throughput|serve|corpus|graph|
+//	           eplatform|riskyusers|drift|throughput|serve|corpus|graph|
 //	           filterablation|featureablation|lexiconablation|gbtablation]
 //	          [-d0scale f] [-d1scale f] [-epscale f] [-sample n] [-seed n]
 //	          [-json]
@@ -65,7 +65,7 @@ var experimentOrder = []string{
 	"fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "appendix",
 	"fig10", "fig11", "fig12", "fig13",
 	"eplatform", "riskyusers", "timeaspect", "deployment", "thresholdsweep", "robustness",
-	"learningcurve", "roundscurve", "throughput", "serve", "corpus", "graph",
+	"drift", "learningcurve", "roundscurve", "throughput", "serve", "corpus", "graph",
 	"filterablation", "featureablation", "lexiconablation", "gbtablation",
 }
 
@@ -143,6 +143,8 @@ func run(lab *experiments.Lab, exp string, asJSON bool) error {
 		out, err = lab.ThresholdSweep()
 	case "robustness":
 		out, err = lab.RobustnessSweep()
+	case "drift":
+		out, err = lab.Drift()
 	case "timeaspect":
 		out = lab.TimeAspect()
 	case "learningcurve":

@@ -40,6 +40,18 @@
 //	          [-batch-max-wait 2ms] [-queue-depth 4096] [-retry-after 1s]
 //	catsserve -models snapshots/ -admin-token $TOKEN [-probes probes.json]
 //	          [-tenant-max-concurrency 4] [-default-tenant taobao]
+//	catsserve -model model.json -retrain-interval 10m [-retrain-window 2048]
+//	          [-retrain-min-samples 100] [-retrain-cooldown 1h]
+//	          [-retrain-min-f1-gain 0.005] [-retrain-min-precision 0.8]
+//
+// With -retrain-interval set, the server closes the drift loop
+// (DESIGN.md §15): POST /v1/feedback accepts labeled outcomes into a
+// per-tenant sliding window, and every interval a background
+// champion/challenger cycle retrains on the window, evaluates both
+// models on a held-out split, and promotes the challenger through the
+// registry's golden-probe gate only on a strict holdout win. GET
+// /admin/trainer reports loop state; POST /admin/retrain forces a
+// cycle.
 //
 // Models are produced by `cats -train ... -save-model model.json` or
 // the library's System.SaveFile (atomic: a crash mid-save never leaves
@@ -66,7 +78,25 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/registry"
 	"repro/internal/service"
+	"repro/internal/trainer"
 )
+
+// wallClock adapts the real clock to the trainer's injected-clock
+// interface. It lives here — in package main — because everything under
+// internal/trainer is deterministic by decree (catslint no-wallclock-rand);
+// the wall clock enters the system only at the operational edge.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) NewTicker(d time.Duration) trainer.Ticker {
+	return wallTicker{t: time.NewTicker(d)}
+}
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }
 
 // tenantFlag is one -tenant name=path mapping; the flag repeats.
 type tenantFlag struct{ name, path string }
@@ -126,6 +156,20 @@ func main() {
 			"Retry-After hint sent with shed (503) responses")
 		tenantMaxConcurrency = flag.Int("tenant-max-concurrency", 0,
 			"cap on concurrently-scoring batches per tenant (admission quota); 0 means unlimited")
+		retrainInterval = flag.Duration("retrain-interval", 0,
+			"champion/challenger retrain cadence; 0 disables the drift loop (and /v1/feedback)")
+		retrainWindow = flag.Int("retrain-window", 0,
+			"labeled-feedback sliding window per tenant (default 2048)")
+		retrainMinSamples = flag.Int("retrain-min-samples", 0,
+			"smallest feedback window that triggers a retrain (default 100)")
+		retrainCooldown = flag.Duration("retrain-cooldown", 0,
+			"minimum time between promotions per tenant; 0 disables the guard")
+		retrainMinF1Gain = flag.Float64("retrain-min-f1-gain", 0,
+			"holdout-F1 margin a challenger must beat the champion by; 0 means any strict win, negative forces promotion (smoke tests)")
+		retrainMinPrecision = flag.Float64("retrain-min-precision", 0,
+			"absolute holdout precision floor for a winning challenger; 0 disables")
+		retrainMinRecall = flag.Float64("retrain-min-recall", 0,
+			"absolute holdout recall floor for a winning challenger; 0 disables")
 	)
 	flag.Var(&tenants, "tenant", "tenant model as name=path; repeatable")
 	flag.Parse()
@@ -194,9 +238,40 @@ func main() {
 	if token == "" {
 		token = os.Getenv("CATS_ADMIN_TOKEN")
 	}
+
+	// The drift loop: when -retrain-interval is set, labeled outcomes
+	// accepted on /v1/feedback accumulate per tenant and a background
+	// champion/challenger cycle retrains on the window, gates on a
+	// holdout, and promotes only on a strict win (DESIGN.md §15).
+	var tr *trainer.Trainer
+	if *retrainInterval > 0 {
+		tr = trainer.New(reg, wallClock{}, trainer.Config{
+			Interval:     *retrainInterval,
+			Window:       *retrainWindow,
+			MinSamples:   *retrainMinSamples,
+			Cooldown:     *retrainCooldown,
+			MinF1Gain:    *retrainMinF1Gain,
+			MinPrecision: *retrainMinPrecision,
+			MinRecall:    *retrainMinRecall,
+			OnCycle: func(d trainer.Decision) {
+				switch d.Outcome {
+				case trainer.OutcomePromoted:
+					log.Printf("catsserve: trainer: tenant %s: promoted %s (generation %d, F1 %+.4f over %s)",
+						d.Tenant, d.ChallengerVersion, d.PromotedGen, d.F1Delta, d.ChampionVersion)
+				case trainer.OutcomeLost, trainer.OutcomeProbeRejected, trainer.OutcomeError:
+					log.Printf("catsserve: trainer: tenant %s: %s: %s", d.Tenant, d.Outcome, d.Reason)
+				}
+			},
+		})
+		tr.Start()
+		log.Printf("catsserve: drift loop on (interval %s, window %d, min-samples %d, cooldown %s, min-f1-gain %g)",
+			*retrainInterval, tr.Config().Window, tr.Config().MinSamples, *retrainCooldown, *retrainMinF1Gain)
+	}
+
 	srv := service.NewWithRegistry(reg, service.Options{
 		DefaultTenant: defTenant,
 		AdminToken:    token,
+		Trainer:       tr,
 	})
 
 	httpSrv := &http.Server{
@@ -269,9 +344,14 @@ func main() {
 	if err := <-shutdownErr; err != nil {
 		log.Printf("catsserve: drain incomplete: %v", err)
 	}
-	// In-flight HTTP requests are drained; retire every tenant's model
-	// so the batchers flush whatever they still hold and every admitted
-	// waiter gets its verdict.
+	// In-flight HTTP requests are drained. Stop the retrain loop first —
+	// a promotion mid-teardown would publish into a registry being
+	// retired — then retire every tenant's model so the batchers flush
+	// whatever they still hold and every admitted waiter gets its
+	// verdict.
+	if tr != nil {
+		tr.Close()
+	}
 	srv.Close()
 	log.Printf("catsserve: exiting cleanly; served %d items", srv.ItemsServed())
 }

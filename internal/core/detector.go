@@ -144,6 +144,11 @@ func (d *Detector) SetMetricsTenant(tenant string) {
 // Extractor exposes the detector's feature extractor.
 func (d *Detector) Extractor() *features.Extractor { return d.extractor }
 
+// Config returns the detector's resolved configuration — what a
+// retrained challenger must copy so promotion changes the model, never
+// the thresholds.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
 // Classifier exposes the underlying model (e.g. to read GBT feature
 // importance for Fig 7).
 func (d *Detector) Classifier() ml.Classifier { return d.clf }

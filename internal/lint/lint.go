@@ -122,6 +122,11 @@ var DefaultConfig = Config{
 		"internal/stats",
 		"internal/ml/gbt",
 		"internal/sentiment",
+		// The retrainer's promotion decisions must be reproducible from
+		// the feedback window alone: time enters only through its
+		// injected Clock and randomness only through window-hash-seeded
+		// sources, so the same window always yields the same verdict.
+		"internal/trainer",
 	},
 	PinnedOrderPkgs: []string{
 		"internal/stats",

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"repro/internal/trainer"
 )
 
 // FuzzDecodeRequest throws arbitrary bytes at the JSON-decoding
@@ -60,6 +62,65 @@ func FuzzDecodeRequest(f *testing.F) {
 				t.Fatalf("%s returned %d for body %q; arbitrary input must never be a server error",
 					path, resp.StatusCode, body)
 			}
+		}
+	})
+}
+
+// FuzzDecodeFeedback pins the same input contract for the drift loop's
+// label intake: arbitrary bytes at /v1/feedback must never surface as
+// a 5xx, and — since the retrain window is training data — a rejected
+// request must never grow the window. (Labels can't be poisoned by
+// construction: the trainer overwrites each item's label from the
+// request's fraud bit, and entries without an item id are refused
+// atomically.)
+func FuzzDecodeFeedback(f *testing.F) {
+	_, ts, tr, _ := newTrainerService(f, trainer.Config{}, Options{MaxItems: 8, MaxBodyBytes: 1 << 16})
+
+	if valid, err := json.Marshal(FeedbackRequest{Feedback: shiftedEntries(501)[:2]}); err == nil {
+		f.Add(valid)
+	}
+	for _, s := range []string{
+		`{"feedback":[]}`,
+		`{"feedback":null}`,
+		`{"feedback":[{}]}`,
+		`{"feedback":[{"fraud":true}]}`,
+		`{"feedback":[{"item":{"item_id":"a"},"fraud":true}]}`,
+		`{"feedback":[{"item":{"item_id":"a"},"fraud":"yes"}]}`,
+		`{"feedback":[{"item":{"item_id":"a","label":2},"fraud":false}]}`,
+		`{"feedback":[{"item":{"item_id":""},"fraud":true}]}`,
+		`{"feedback":"not-a-list"}`,
+		`{broken`,
+		``,
+		`null`,
+		"\xef\xbb\xbf{\"feedback\":[]}",
+		"{\"feedback\":[{\"item\":{\"item_id\":\"\xff\xfe\"}}]}",
+		`{"feedback":[` + strings.Repeat(`{"item":{"item_id":"x"}},`, 8) + `{}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	windowSeen := func() uint64 {
+		for _, st := range tr.Status() {
+			if st.Tenant == DefaultTenant {
+				return st.WindowSeen
+			}
+		}
+		return 0
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := windowSeen()
+		resp, err := http.Post(ts.URL+"/v1/feedback", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("/v1/feedback returned %d for body %q; arbitrary input must never be a server error",
+				resp.StatusCode, body)
+		}
+		if resp.StatusCode != http.StatusOK && windowSeen() != before {
+			t.Fatalf("rejected request (status %d, body %q) grew the retrain window from %d to %d",
+				resp.StatusCode, body, before, windowSeen())
 		}
 	})
 }

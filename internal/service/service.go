@@ -15,6 +15,7 @@
 //	GET  /v1/lexicon     — the expanded positive/negative word sets
 //	GET  /v1/drift       — scored-traffic vs training feature drift (KS)
 //	GET  /v1/clusters    — organized-fraud co-purchase cluster report
+//	POST /v1/feedback    — labeled outcomes into the retrain window
 //	POST /t/{tenant}/v1/detect      — tenant-scoped variants of all of
 //	POST /t/{tenant}/v1/explain       the above /v1/* routes
 //	GET  /t/{tenant}/v1/importance
@@ -22,6 +23,8 @@
 //	GET  /t/{tenant}/v1/lexicon
 //	POST /admin/reload   — hot-reload one tenant's model (Bearer auth)
 //	GET  /admin/tenants  — live models: version, generation, source
+//	GET  /admin/trainer  — champion/challenger loop status (Bearer auth)
+//	POST /admin/retrain  — trigger a retrain cycle now (Bearer auth)
 //	GET  /healthz        — liveness
 //	GET  /readyz         — readiness (503 while draining or not yet ready)
 //	GET  /metrics        — Prometheus text-format metrics (internal/obs)
@@ -78,6 +81,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/stats"
+	"repro/internal/trainer"
 )
 
 // DefaultTenant is the tenant bare /v1/* requests resolve to when no
@@ -126,6 +130,14 @@ type Options struct {
 	// consulted by New — registry-backed servers inherit the
 	// registry's own batching template.
 	Batching *dispatch.Options
+	// Trainer, when non-nil, closes the drift loop: POST /v1/feedback
+	// appends labeled outcomes to its per-tenant retrain windows, GET
+	// /admin/trainer reports the champion/challenger loop's state, and
+	// POST /admin/retrain triggers a cycle on demand. Nil leaves
+	// /v1/feedback and /admin/retrain answering 501. The caller owns
+	// the trainer's lifecycle (Start/Close); the server only routes
+	// into it.
+	Trainer *trainer.Trainer
 }
 
 func (o Options) withDefaults() Options {
@@ -260,8 +272,13 @@ func (s *Server) ModelRegistry() *registry.Registry { return s.reg }
 
 // driftFor returns the tenant's drift state for the model generation
 // the request is being served by, resetting the reservoir when a
-// reload has swapped generations since last observed. Returns nil when
-// the tenant has no drift baseline (tracking disabled).
+// reload or trainer promotion has swapped generations since last
+// observed. The reset is monotonic: a request still finishing on a
+// retired handle gets nil rather than wiping the new generation's
+// reservoir back to its own, and the sampling RNG is reseeded from the
+// generation so each model's reservoir draws an independent,
+// reproducible stream. Returns nil when the tenant has no drift
+// baseline (tracking disabled).
 func (s *Server) driftFor(tenant string, h *registry.Handle) *driftState {
 	s.driftMu.Lock()
 	st, ok := s.drift[tenant]
@@ -271,11 +288,18 @@ func (s *Server) driftFor(tenant string, h *registry.Handle) *driftState {
 	}
 	s.driftMu.Unlock()
 	st.mu.Lock()
-	if st.gen != h.Generation {
+	switch {
+	case h.Generation > st.gen:
 		st.gen = h.Generation
 		st.baseline = s.baselineFor(tenant, h)
 		st.seen = 0
 		st.res = nil
+		st.rng = rand.New(rand.NewSource(int64(h.Generation)))
+	case h.Generation < st.gen:
+		// Stale handle: its model was already replaced, so its traffic
+		// must neither pollute the live reservoir nor reset it.
+		st.mu.Unlock()
+		return nil
 	}
 	if st.baseline == nil {
 		st.mu.Unlock()
@@ -285,18 +309,27 @@ func (s *Server) driftFor(tenant string, h *registry.Handle) *driftState {
 	return st
 }
 
-// baselineFor resolves a tenant's drift baseline: the explicit
-// Options.TrainingSample for the default tenant, the model's own
-// snapshot-carried sample for registry-backed servers, nothing (drift
-// disabled) otherwise.
+// baselineFor resolves a tenant's drift baseline. Generation 1 of the
+// default tenant honors the explicit Options.TrainingSample (the
+// operator-provided startup baseline); later generations — trainer
+// promotions and hot reloads — prefer the model's own training sample,
+// so a promoted model is measured against the window it was fitted on,
+// never its predecessor's training set. Registry-backed servers fall
+// back to each model's snapshot-carried sample; a model that carries
+// none falls back to the operator baseline, and with neither, drift is
+// disabled for the tenant.
 func (s *Server) baselineFor(tenant string, h *registry.Handle) [][]float64 {
-	if tenant == s.opts.DefaultTenant && s.opts.TrainingSample != nil {
+	operator := tenant == s.opts.DefaultTenant && s.opts.TrainingSample != nil
+	if operator && h.Generation <= 1 {
 		return s.opts.TrainingSample
 	}
-	if s.modelDrift {
+	if s.modelDrift || h.Generation > 1 {
 		if b := h.Detector.TrainingSample(); len(b) > 0 {
 			return b
 		}
+	}
+	if operator {
+		return s.opts.TrainingSample
 	}
 	return nil
 }
@@ -341,11 +374,14 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/drift", http.MethodGet, s.handleDrift)
 	route("/v1/lexicon", http.MethodGet, s.handleLexicon)
 	route("/v1/clusters", http.MethodGet, s.handleClusters)
+	route("/v1/feedback", http.MethodPost, s.handleFeedback)
 	single := func(pattern, method string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.httpm.Wrap(pattern, allowMethod(method, h)))
 	}
 	single("/admin/reload", http.MethodPost, s.handleAdminReload)
 	single("/admin/tenants", http.MethodGet, s.handleAdminTenants)
+	single("/admin/trainer", http.MethodGet, s.handleAdminTrainer)
+	single("/admin/retrain", http.MethodPost, s.handleAdminRetrain)
 	single("/healthz", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "items_served": s.ItemsServed()})
 	})

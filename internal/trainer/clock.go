@@ -1,0 +1,109 @@
+package trainer
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the trainer's only two uses of time — reading the
+// current instant and ticking at the retrain interval — so the whole
+// champion/challenger loop runs under an injected fake in tests and
+// experiments. internal/trainer is a deterministic package (catslint
+// forbids time.Now and friends here); the real wall-clock
+// implementation lives with the binary that owns the wall clock,
+// cmd/catsserve.
+type Clock interface {
+	Now() time.Time
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the subset of time.Ticker the trainer loop needs.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// FakeClock is a manually advanced Clock. Advance moves the current
+// instant and delivers any due ticks; nothing fires spontaneously, so
+// tests drive the retrain loop deterministically without sleeping.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*fakeTicker
+}
+
+// NewFakeClock returns a FakeClock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake current instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and fires every ticker whose
+// next deadline falls within the new instant. Like time.Ticker, ticks
+// coalesce when the receiver is slow: a ticker channel holds at most
+// one pending tick.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	tickers := append([]*fakeTicker(nil), c.tickers...)
+	c.mu.Unlock()
+	for _, tk := range tickers {
+		tk.advanceTo(now)
+	}
+}
+
+// NewTicker returns a ticker that fires when Advance crosses multiples
+// of d from the current instant.
+func (c *FakeClock) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("trainer: FakeClock.NewTicker period must be positive")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tk := &fakeTicker{
+		ch:     make(chan time.Time, 1),
+		period: d,
+		next:   c.now.Add(d),
+	}
+	c.tickers = append(c.tickers, tk)
+	return tk
+}
+
+type fakeTicker struct {
+	ch chan time.Time
+
+	mu      sync.Mutex
+	period  time.Duration
+	next    time.Time
+	stopped bool
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTicker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+}
+
+func (t *fakeTicker) advanceTo(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	for !t.next.After(now) {
+		select {
+		case t.ch <- t.next:
+		default: // receiver busy; coalesce like time.Ticker
+		}
+		t.next = t.next.Add(t.period)
+	}
+}

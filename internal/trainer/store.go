@@ -1,0 +1,80 @@
+package trainer
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/ecom"
+)
+
+// Feedback is one delayed-label outcome: an item the service scored
+// earlier, now resolved to ground truth (a confirmed fraud case or a
+// cleared listing). In the service these arrive via POST /v1/feedback;
+// in tests and experiments internal/synth generates them.
+type Feedback struct {
+	Item  ecom.Item
+	Fraud bool
+}
+
+// window is a bounded ring of the most recent feedback for one tenant.
+// When full, adding evicts the oldest entry — a sliding window over the
+// label stream, so retraining always sees the freshest distribution.
+type window struct {
+	buf  []Feedback
+	next int
+	full bool
+	seen uint64 // total ever added, including evicted
+}
+
+func newWindow(capacity int) *window {
+	return &window{buf: make([]Feedback, 0, capacity)}
+}
+
+func (w *window) add(fb Feedback) {
+	w.seen++
+	if !w.full {
+		w.buf = append(w.buf, fb)
+		if len(w.buf) == cap(w.buf) {
+			w.full = true
+		}
+		return
+	}
+	w.buf[w.next] = fb
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+func (w *window) len() int { return len(w.buf) }
+
+// snapshot returns the window contents oldest-first. The copy is the
+// trainer's working set for one cycle: the window keeps accepting
+// feedback while a challenger trains.
+func (w *window) snapshot() []Feedback {
+	out := make([]Feedback, 0, len(w.buf))
+	if w.full {
+		out = append(out, w.buf[w.next:]...)
+		out = append(out, w.buf[:w.next]...)
+		return out
+	}
+	return append(out, w.buf...)
+}
+
+// windowHash fingerprints a feedback snapshot: FNV-1a over each item ID
+// and its label bit, plus the count. Identical windows hash identically
+// regardless of how they were fed, so the hash seeds the train/holdout
+// split and names the challenger version — same window, same split,
+// same version string.
+func windowHash(fbs []Feedback) uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(fbs)))
+	h.Write(n[:])
+	for i := range fbs {
+		h.Write([]byte(fbs[i].Item.ID))
+		if fbs[i].Fraud {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}

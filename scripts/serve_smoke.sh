@@ -7,11 +7,13 @@
 # zero non-2xx responses across the swap and that
 # cats_registry_reloads_total moved), picks up a third tenant via
 # SIGHUP re-scan (booted from a columnar .catc snapshot to exercise the
-# registry's format sniffing), probes /healthz, /readyz and /metrics
-# (asserting the
-# tenant-labeled pipeline counters moved), then sends SIGTERM and
-# requires a clean exit. CI runs this via `make serve-smoke`; it needs
-# only the go toolchain and curl.
+# registry's format sniffing), closes the drift loop (labeled feedback
+# on /v1/feedback, a 1s retrain cycle, and a champion/challenger
+# promotion swapping the default tenant mid-traffic with zero non-2xx),
+# probes /healthz, /readyz and /metrics (asserting the tenant-labeled
+# pipeline and trainer counters moved), then sends SIGTERM and requires
+# a clean exit. CI runs this via `make serve-smoke`; it needs only the
+# go toolchain and curl.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -53,7 +55,8 @@ go build -o "${WORK}/catsserve" ./cmd/catsserve
   -admin-token "${TOKEN}" -addr "127.0.0.1:${PORT}" \
   -shutdown-timeout 10s \
   -batch -batch-max-size 64 -batch-max-wait 2ms -queue-depth 512 -retry-after 1s \
-  -tenant-max-concurrency 4 &
+  -tenant-max-concurrency 4 \
+  -retrain-interval 1s -retrain-min-samples 8 -retrain-min-f1-gain=-2 &
 SERVER_PID=$!
 
 for i in $(seq 1 50); do
@@ -152,6 +155,77 @@ done
 curl -fsS -X POST -H 'Content-Type: application/json' \
   -d "{\"items\":[${ITEM_JSON}]}" "${BASE}/t/mobile/v1/detect" >/dev/null
 
+echo "== serve-smoke: drift loop — feedback in, promotion out, zero dropped requests"
+# Build labeled feedback from the training file's own ground truth: a
+# mixed batch (12 fraud, 20 normal) so the trainer's stratified split
+# has both classes. The forced gate (-retrain-min-f1-gain=-2) promotes
+# the challenger, which swaps the default tenant's model mid-traffic.
+# The batch is far too large for a command-line argument, so it goes
+# through a file.
+awk '
+  { fraud = (index($0, "\"label\":1") || index($0, "\"label\":2")) }
+  fraud && nf < 12  { nf++; out[n++] = "{\"item\":" $0 ",\"fraud\":true}" }
+  !fraud && nn < 20 { nn++; out[n++] = "{\"item\":" $0 ",\"fraud\":false}" }
+  END {
+    printf "{\"feedback\":["
+    for (i = 0; i < n; i++) printf "%s%s", (i ? "," : ""), out[i]
+    printf "]}"
+  }
+' "${WORK}/train.jsonl" > "${WORK}/feedback.json"
+
+taobao_generation() {
+  curl -fsS -H "Authorization: Bearer ${TOKEN}" "${BASE}/admin/tenants" \
+    | tr '}' '\n' | grep -F '"tenant":"taobao"' \
+    | grep -o '"generation":[0-9]*' | head -n 1 | cut -d: -f2
+}
+GEN_BEFORE="$(taobao_generation)"
+
+if curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"feedback":[]}' "${BASE}/v1/feedback" >/dev/null 2>&1; then
+  echo "serve-smoke: FAIL: empty feedback batch was accepted" >&2
+  exit 1
+fi
+FB_RESP="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d @"${WORK}/feedback.json" "${BASE}/v1/feedback")"
+if ! grep -qF '"accepted":32' <<<"${FB_RESP}"; then
+  echo "serve-smoke: FAIL: /v1/feedback did not accept the batch: ${FB_RESP}" >&2
+  exit 1
+fi
+
+# Keep detect traffic flowing while the 1s retrain loop trains, gates,
+# and promotes; every response across the swap must be 2xx.
+CURL_PIDS=()
+GEN_AFTER="${GEN_BEFORE}"
+for i in $(seq 1 75); do
+  burst "/v1/detect"
+  GEN_AFTER="$(taobao_generation)"
+  if [[ -n "${GEN_AFTER}" && "${GEN_AFTER}" -gt "${GEN_BEFORE}" ]]; then
+    break
+  fi
+  sleep 0.2
+done
+burst "/v1/detect"   # rides the freshly-promoted model
+DETECT_FAIL=0
+for pid in "${CURL_PIDS[@]}"; do
+  wait "${pid}" || DETECT_FAIL=1
+done
+if [[ "${DETECT_FAIL}" -ne 0 ]]; then
+  echo "serve-smoke: FAIL: a detect answered non-2xx during the promotion swap" >&2
+  exit 1
+fi
+if [[ -z "${GEN_AFTER}" || "${GEN_AFTER}" -le "${GEN_BEFORE}" ]]; then
+  echo "serve-smoke: FAIL: promotion never bumped taobao's generation (${GEN_BEFORE} -> ${GEN_AFTER})" >&2
+  exit 1
+fi
+TRAINER_STATUS="$(curl -fsS -H "Authorization: Bearer ${TOKEN}" "${BASE}/admin/trainer")"
+for want in '"enabled":true' '"tenant":"taobao"' '"outcome":"promoted"'; do
+  if ! grep -qF "${want}" <<<"${TRAINER_STATUS}"; then
+    echo "serve-smoke: FAIL: /admin/trainer missing ${want}: ${TRAINER_STATUS}" >&2
+    exit 1
+  fi
+done
+echo "== serve-smoke: challenger promoted (generation ${GEN_BEFORE} -> ${GEN_AFTER}) with zero failed requests"
+
 echo "== serve-smoke: scrape /metrics"
 METRICS="$(curl -fsS "${BASE}/metrics")"
 for want in \
@@ -167,7 +241,10 @@ for want in \
   'cats_serve_coalesced_total{tenant="taobao"}' \
   'cats_serve_shed_total{reason="queue_full",tenant="taobao"}' \
   'cats_registry_model_version{tenant="mobile"}' \
-  'cats_registry_reloads_total{outcome="ok",tenant="taobao"}'; do
+  'cats_registry_reloads_total{outcome="ok",tenant="taobao"}' \
+  'cats_trainer_cycles_total{outcome="promoted",tenant="taobao"}' \
+  'cats_trainer_promoted_generation{tenant="taobao"}' \
+  'cats_trainer_window_size{tenant="taobao"}'; do
   if ! grep -qF "${want}" <<<"${METRICS}"; then
     echo "serve-smoke: FAIL: /metrics is missing ${want}" >&2
     exit 1
@@ -175,6 +252,10 @@ for want in \
 done
 if ! grep -E '^cats_serve_batches_total\{tenant="taobao"\} [1-9]' <<<"${METRICS}" >/dev/null; then
   echo "serve-smoke: FAIL: cats_serve_batches_total{taobao} did not move; batcher not in the path" >&2
+  exit 1
+fi
+if ! grep -E '^cats_trainer_cycles_total\{outcome="promoted",tenant="taobao"\} [1-9]' <<<"${METRICS}" >/dev/null; then
+  echo "serve-smoke: FAIL: cats_trainer_cycles_total{promoted,taobao} did not move; drift loop not in the path" >&2
   exit 1
 fi
 echo "== serve-smoke: metric names present and counting"
